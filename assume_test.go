@@ -1,0 +1,75 @@
+package berkmin_test
+
+import (
+	"testing"
+
+	"berkmin"
+)
+
+func TestSolveAssumingPublicAPI(t *testing.T) {
+	s := berkmin.New()
+	s.AddClause(1, 2)
+	s.AddClause(-2, 3)
+
+	r := s.SolveAssuming(-1)
+	if r.Status != berkmin.StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Model[1] || !r.Model[2] || !r.Model[3] {
+		t.Fatalf("model = %v", r.Model)
+	}
+
+	r = s.SolveAssuming(-1, -2)
+	if r.Status != berkmin.StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	failed := berkmin.FailedAssumptions(r)
+	if len(failed) == 0 {
+		t.Fatal("no failed assumptions reported")
+	}
+	for _, f := range failed {
+		if f != -1 && f != -2 {
+			t.Fatalf("failed literal %d was never assumed", f)
+		}
+	}
+
+	// Incremental: add a clause and continue.
+	s.AddClause(-3)
+	r = s.Solve()
+	if r.Status != berkmin.StatusSat || !r.Model[1] {
+		t.Fatalf("incremental step: %v %v", r.Status, r.Model)
+	}
+}
+
+func TestSolveAssumingZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := berkmin.New()
+	s.AddClause(1)
+	s.SolveAssuming(0)
+}
+
+// TestAssumptionDrivenEquivalence uses assumptions the way equivalence
+// checkers do: one miter, many queries about individual outputs.
+func TestAssumptionDrivenEquivalence(t *testing.T) {
+	a := berkmin.RippleAdder(4)
+	b := berkmin.CarryLookaheadAdder(4)
+	f, inputs, err := berkmin.MiterWithInputs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := berkmin.New()
+	s.AddFormula(f)
+	// The miter is UNSAT under any particular input-bit assumption, too.
+	for _, bit := range inputs[:3] {
+		for _, phase := range []int{1, -1} {
+			r := s.SolveAssuming(phase * bit)
+			if r.Status != berkmin.StatusUnsat {
+				t.Fatalf("miter satisfiable under assumption %d", phase*bit)
+			}
+		}
+	}
+}

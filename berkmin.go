@@ -1,0 +1,177 @@
+// Package berkmin is a from-scratch Go implementation of BerkMin, the
+// conflict-driven clause-learning SAT solver of E. Goldberg and Y. Novikov
+// ("BerkMin: A Fast and Robust Sat-Solver", DATE 2002).
+//
+// The solver implements the paper's decision-making procedure (branching on
+// the current top conflict clause, responsible-clause variable activities,
+// literal-activity branch polarity, the nb_two cost function), its clause
+// database management (young/old partition by stack age with length and
+// activity keep rules), restarts, and two-watched-literal BCP — plus every
+// ablation and baseline configuration the paper measures (Less_sensitivity,
+// Less_mobility, the Table 4 polarity heuristics, Limited_keeping, a
+// zChaff-like VSIDS configuration and a limmat-like configuration).
+//
+// Quick start:
+//
+//	s := berkmin.New()
+//	s.AddClause(1, -2)   // x1 ∨ ¬x2
+//	s.AddClause(2, 3)    // x2 ∨ x3
+//	res := s.Solve()
+//	if res.Status == berkmin.StatusSat {
+//	    fmt.Println(res.Model[1], res.Model[2], res.Model[3])
+//	}
+//
+// The package also exposes the paper's benchmark workload generators
+// (pigeonhole, parity, Hanoi, blocksworld, circuit-equivalence miters,
+// processor-verification-style instances, BMC unrollings) and DIMACS I/O,
+// so downstream users can reproduce every table of the paper's evaluation
+// — see cmd/satbench.
+package berkmin
+
+import (
+	"io"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+)
+
+// Options configures the solver. Zero value is unusable; start from
+// DefaultOptions or a preset.
+type Options = core.Options
+
+// Status is a solver verdict.
+type Status = core.Status
+
+// Verdicts.
+const (
+	StatusUnknown = core.StatusUnknown
+	StatusSat     = core.StatusSat
+	StatusUnsat   = core.StatusUnsat
+)
+
+// Stats aggregates search statistics (decisions, conflicts, restarts, the
+// skin-effect histogram, database-size ratios).
+type Stats = core.Stats
+
+// Result is the outcome of Solve: a Status, a Model when satisfiable
+// (Model[v] is variable v's value; index 0 unused), and Stats.
+type Result = core.Result
+
+// Re-exported configuration presets; see the paper mapping in package core.
+var (
+	// DefaultOptions is BerkMin as published (the BerkMin56 configuration).
+	DefaultOptions = core.DefaultOptions
+	// LessSensitivityOptions is Table 1's ablation.
+	LessSensitivityOptions = core.LessSensitivityOptions
+	// LessMobilityOptions is Table 2's ablation.
+	LessMobilityOptions = core.LessMobilityOptions
+	// LimitedKeepingOptions is Table 5's ablation (GRASP-style database).
+	LimitedKeepingOptions = core.LimitedKeepingOptions
+	// ChaffOptions approximates zChaff (VSIDS).
+	ChaffOptions = core.ChaffOptions
+	// LimmatOptions approximates limmat (Table 10's third solver).
+	LimmatOptions = core.LimmatOptions
+)
+
+// Solver is a CDCL SAT solver over DIMACS-style signed integer literals.
+// Not safe for concurrent use.
+type Solver struct {
+	core     *core.Solver
+	pristine *cnf.Formula // untouched copy of the input, for model checking
+	verify   bool
+}
+
+// New returns a Solver with the paper's default (BerkMin) configuration.
+func New() *Solver { return NewWithOptions(DefaultOptions()) }
+
+// NewWithOptions returns a Solver with the given configuration.
+func NewWithOptions(opt Options) *Solver {
+	return &Solver{core: core.New(opt), pristine: cnf.New(0), verify: true}
+}
+
+// SetVerifyModels controls whether Solve double-checks satisfying
+// assignments against the original clauses before returning them (on by
+// default; the check is linear in formula size).
+func (s *Solver) SetVerifyModels(v bool) { s.verify = v }
+
+// SetProofWriter directs a DRUP unsatisfiability proof to w; must be called
+// before adding clauses. Validate the trace with CheckDRUP.
+func (s *Solver) SetProofWriter(w io.Writer) { s.core.SetProofWriter(w) }
+
+// AddClause adds a clause given as signed DIMACS literals (±v). Zero
+// values are rejected by panic since they terminate clauses in DIMACS and
+// cannot appear inside one.
+func (s *Solver) AddClause(lits ...int) {
+	for _, l := range lits {
+		if l == 0 {
+			panic("berkmin: literal 0 is not allowed in a clause")
+		}
+	}
+	c := cnf.NewClause(lits...)
+	s.pristine.Add(c.Clone())
+	s.core.AddClause(c)
+}
+
+// AddFormula adds every clause of a formula (e.g. from ReadDimacs or a
+// generator).
+func (s *Solver) AddFormula(f *Formula) {
+	for _, c := range f.Clauses {
+		s.pristine.Add(c.Clone())
+	}
+	if f.NumVars > s.pristine.NumVars {
+		s.pristine.NumVars = f.NumVars
+	}
+	s.core.AddFormula(f)
+}
+
+// NumVars returns the number of variables seen so far.
+func (s *Solver) NumVars() int { return s.core.NumVars() }
+
+// Solve runs the search. With a resource limit configured in Options the
+// result may be StatusUnknown.
+func (s *Solver) Solve() Result {
+	r := s.core.Solve()
+	if r.Status == StatusSat && s.verify {
+		if !cnf.Assignment(r.Model).Satisfies(s.pristine) {
+			// A model failing verification indicates an engine bug; fail
+			// loudly rather than hand back a wrong witness.
+			panic("berkmin: internal error: model does not satisfy the input formula")
+		}
+	}
+	return r
+}
+
+// Stats returns statistics collected so far (also available in Result).
+func (s *Solver) Stats() Stats { return s.core.Stats() }
+
+// SolveAssuming solves under temporary assumptions given as signed DIMACS
+// literals. On an assumption-caused UNSAT, FailedAssumptions(result) names
+// a contradictory subset. The solver stays usable afterwards — clauses can
+// be added and Solve called again with all learnt clauses retained
+// (incremental solving).
+func (s *Solver) SolveAssuming(lits ...int) Result {
+	assumps := make([]cnf.Lit, len(lits))
+	for i, l := range lits {
+		if l == 0 {
+			panic("berkmin: assumption literal 0 is not allowed")
+		}
+		assumps[i] = cnf.FromDimacs(l)
+	}
+	r := s.core.SolveAssuming(assumps)
+	if r.Status == StatusSat && s.verify {
+		if !cnf.Assignment(r.Model).Satisfies(s.pristine) {
+			panic("berkmin: internal error: model does not satisfy the input formula")
+		}
+	}
+	return r
+}
+
+// FailedAssumptions extracts a result's failed-assumption set in signed
+// DIMACS form.
+func FailedAssumptions(r Result) []int {
+	out := make([]int, len(r.FailedAssumptions))
+	for i, l := range r.FailedAssumptions {
+		out[i] = l.Dimacs()
+	}
+	return out
+}

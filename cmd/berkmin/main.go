@@ -1,0 +1,163 @@
+// Command berkmin is a DIMACS CNF solver in the SAT-competition calling
+// convention: it prints "s SATISFIABLE"/"s UNSATISFIABLE"/"s UNKNOWN" plus
+// optional "v" model lines, and exits with code 10 (SAT), 20 (UNSAT) or 0
+// (unknown).
+//
+// Usage:
+//
+//	berkmin [flags] [file.cnf]        (stdin when no file is given)
+//
+// The -config flag selects the paper's configurations: berkmin (default),
+// less-sensitivity, less-mobility, limited-keeping, chaff, limmat, or the
+// branch-selection ablations sat-top, unsat-top, take-0, take-1, take-rand.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"berkmin"
+	"berkmin/internal/core"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func configByName(name string) (core.Options, bool) {
+	switch name {
+	case "berkmin":
+		return core.DefaultOptions(), true
+	case "less-sensitivity":
+		return core.LessSensitivityOptions(), true
+	case "less-mobility":
+		return core.LessMobilityOptions(), true
+	case "limited-keeping":
+		return core.LimitedKeepingOptions(), true
+	case "chaff":
+		return core.ChaffOptions(), true
+	case "limmat":
+		return core.LimmatOptions(), true
+	case "sat-top":
+		return core.BranchOptions(core.PolaritySatTop), true
+	case "unsat-top":
+		return core.BranchOptions(core.PolarityUnsatTop), true
+	case "take-0":
+		return core.BranchOptions(core.PolarityTake0), true
+	case "take-1":
+		return core.BranchOptions(core.PolarityTake1), true
+	case "take-rand":
+		return core.BranchOptions(core.PolarityTakeRand), true
+	}
+	return core.Options{}, false
+}
+
+func run() int {
+	var (
+		configName   = flag.String("config", "berkmin", "solver configuration (berkmin, less-sensitivity, less-mobility, limited-keeping, chaff, limmat, sat-top, unsat-top, take-0, take-1, take-rand)")
+		maxConflicts = flag.Uint64("max-conflicts", 0, "abort after this many conflicts (0 = unlimited)")
+		timeout      = flag.Duration("timeout", 0, "abort after this wall-clock time (0 = unlimited)")
+		seed         = flag.Uint64("seed", 1, "PRNG seed (deterministic reruns)")
+		noModel      = flag.Bool("no-model", false, "suppress the v-lines on SAT")
+		showStats    = flag.Bool("stats", false, "print search statistics to stderr")
+		proofPath    = flag.String("proof", "", "write a DRUP proof to this file")
+		strategy3    = flag.Bool("strategy3", false, "use the optimized global variable pick (BerkMin561 strategy 3)")
+		minimize     = flag.Bool("minimize", false, "enable learnt-clause minimization (extension)")
+		preprocess   = flag.Bool("simplify", false, "preprocess before solving (subsumption + variable elimination; extension)")
+	)
+	flag.Parse()
+
+	opt, ok := configByName(*configName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
+		return 1
+	}
+	opt.MaxConflicts = *maxConflicts
+	opt.MaxTime = *timeout
+	opt.Seed = *seed
+	opt.OptimizedGlobalPick = *strategy3
+	opt.MinimizeLearnt = *minimize
+
+	var f *berkmin.Formula
+	var err error
+	switch flag.NArg() {
+	case 0:
+		f, err = berkmin.ReadDimacs(bufio.NewReader(os.Stdin))
+	case 1:
+		f, err = berkmin.ReadDimacsFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: berkmin [flags] [file.cnf]")
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse error: %v\n", err)
+		return 1
+	}
+
+	// Optional preprocessing (incompatible with proof logging: the
+	// eliminated-variable reconstruction is not expressible in DRUP).
+	var outcome *berkmin.SimplifyOutcome
+	if *preprocess {
+		if *proofPath != "" {
+			fmt.Fprintln(os.Stderr, "-simplify and -proof are mutually exclusive")
+			return 1
+		}
+		outcome = berkmin.Simplify(f, berkmin.DefaultSimplifyOptions())
+		if outcome.Unsat {
+			fmt.Println("s UNSATISFIABLE")
+			return 20
+		}
+		fmt.Fprintf(os.Stderr, "c simplify: %d subsumed, %d strengthened lits, %d vars eliminated, %d units\n",
+			outcome.RemovedSubsumed, outcome.StrengthenedLits, outcome.EliminatedVars, outcome.PropagatedUnits)
+		f = outcome.Formula
+	}
+
+	s := berkmin.NewWithOptions(opt)
+	if *proofPath != "" {
+		pf, err := os.Create(*proofPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "proof file: %v\n", err)
+			return 1
+		}
+		defer pf.Close()
+		bw := bufio.NewWriter(pf)
+		defer bw.Flush()
+		s.SetProofWriter(bw)
+	}
+	start := time.Now()
+	s.AddFormula(f)
+	res := s.Solve()
+
+	if *showStats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "c decisions=%d conflicts=%d propagations=%d restarts=%d\n",
+			st.Decisions, st.Conflicts, st.Propagations, st.Restarts)
+		fmt.Fprintf(os.Stderr, "c learnt=%d deleted=%d db-ratio=%.2f peak-ratio=%.2f\n",
+			st.LearntTotal, st.DeletedTotal, st.DatabaseRatio(), st.PeakRatio())
+		fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
+	}
+
+	switch res.Status {
+	case berkmin.StatusSat:
+		fmt.Println("s SATISFIABLE")
+		if !*noModel {
+			model := res.Model
+			if outcome != nil {
+				model = outcome.Extend(model)
+			}
+			out := bufio.NewWriter(os.Stdout)
+			berkmin.WriteModel(out, model)
+			out.Flush()
+		}
+		return 10
+	case berkmin.StatusUnsat:
+		fmt.Println("s UNSATISFIABLE")
+		return 20
+	default:
+		fmt.Println("s UNKNOWN")
+		return 0
+	}
+}

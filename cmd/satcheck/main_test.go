@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseModelVLines(t *testing.T) {
+	in := "c comment\ns SATISFIABLE\nv 1 -2 3\nv -4 0\n"
+	model, err := parseModel(strings.NewReader(in), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, false}
+	for v := 1; v <= 4; v++ {
+		if model[v] != want[v] {
+			t.Fatalf("model[%d] = %v", v, model[v])
+		}
+	}
+}
+
+func TestParseModelBareLiterals(t *testing.T) {
+	model, err := parseModel(strings.NewReader("1 -2 0"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model[1] || model[2] {
+		t.Fatalf("model = %v", model)
+	}
+}
+
+func TestParseModelGrowsBeyondHeader(t *testing.T) {
+	model, err := parseModel(strings.NewReader("v 7 0\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model) < 8 || !model[7] {
+		t.Fatalf("model = %v", model)
+	}
+}
+
+func TestParseModelRejectsGarbage(t *testing.T) {
+	if _, err := parseModel(strings.NewReader("v one 0\n"), 2); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

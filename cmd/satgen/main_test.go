@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"berkmin/internal/bench"
+)
+
+func TestScaleByName(t *testing.T) {
+	cases := map[string]bench.Scale{
+		"small": bench.Small, "medium": bench.Medium, "large": bench.Large,
+	}
+	for name, want := range cases {
+		got, ok := scaleByName(name)
+		if !ok || got != want {
+			t.Errorf("scaleByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := scaleByName("gigantic"); ok {
+		t.Error("unknown scale accepted")
+	}
+}

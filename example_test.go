@@ -1,0 +1,73 @@
+package berkmin_test
+
+import (
+	"fmt"
+
+	"berkmin"
+)
+
+// The basic solving loop: add clauses as signed DIMACS literals, solve,
+// read the model.
+func Example() {
+	s := berkmin.New()
+	s.AddClause(1, -2) // x1 ∨ ¬x2
+	s.AddClause(2)     // x2
+	res := s.Solve()
+	fmt.Println(res.Status)
+	fmt.Println(res.Model[1], res.Model[2])
+	// Output:
+	// SATISFIABLE
+	// true true
+}
+
+// Proving unsatisfiability: the pigeonhole principle.
+func Example_unsat() {
+	inst := berkmin.Pigeonhole(5)
+	s := berkmin.New()
+	s.AddFormula(inst.Formula)
+	fmt.Println(s.Solve().Status)
+	// Output:
+	// UNSATISFIABLE
+}
+
+// Equivalence checking with a miter, the paper's motivating workload.
+func ExampleMiter() {
+	ripple := berkmin.RippleAdder(4)
+	lookahead := berkmin.CarryLookaheadAdder(4)
+	f, err := berkmin.Miter(ripple, lookahead)
+	if err != nil {
+		panic(err)
+	}
+	s := berkmin.New()
+	s.AddFormula(f)
+	// UNSAT means no input distinguishes the circuits: they are equivalent.
+	fmt.Println(s.Solve().Status)
+	// Output:
+	// UNSATISFIABLE
+}
+
+// Bounded model checking of a sequential circuit.
+func ExampleSeqCircuit() {
+	counter := berkmin.Counter(4, 6) // 4-bit counter, bad state: count==6
+	f, err := counter.Unroll(6)      // reachable in exactly 6 steps
+	if err != nil {
+		panic(err)
+	}
+	s := berkmin.New()
+	s.AddFormula(f)
+	fmt.Println(s.Solve().Status)
+	// Output:
+	// SATISFIABLE
+}
+
+// Selecting one of the paper's ablation configurations.
+func ExampleNewWithOptions() {
+	opt := berkmin.LessMobilityOptions() // Table 2's ablation
+	s := berkmin.NewWithOptions(opt)
+	s.AddClause(1, 2)
+	s.AddClause(-1, 2)
+	res := s.Solve()
+	fmt.Println(res.Status, res.Model[2])
+	// Output:
+	// SATISFIABLE true
+}

@@ -1,0 +1,67 @@
+// Equivalence checking — the workload that motivates the paper (its
+// benchmark classes are dominated by circuit-verification CNFs). This
+// example proves two adder architectures equivalent with a miter, then
+// catches an injected defect and decodes the counterexample input vector.
+package main
+
+import (
+	"fmt"
+
+	"berkmin"
+)
+
+func main() {
+	const bits = 6
+
+	// 1. Prove a ripple-carry adder equivalent to a carry-lookahead adder.
+	ripple := berkmin.RippleAdder(bits)
+	cla := berkmin.CarryLookaheadAdder(bits)
+	miter, err := berkmin.Miter(ripple, cla)
+	if err != nil {
+		panic(err)
+	}
+	s := berkmin.New()
+	s.AddFormula(miter)
+	res := s.Solve()
+	fmt.Printf("ripple vs carry-lookahead (%d-bit): %v", bits, res.Status)
+	if res.Status == berkmin.StatusUnsat {
+		fmt.Printf("  -> circuits are EQUIVALENT (proved in %d conflicts)\n",
+			res.Stats.Conflicts)
+	}
+
+	// 2. Inject a defect into the lookahead adder and find it.
+	buggy := berkmin.InjectFault(berkmin.CarryLookaheadAdder(bits), 42)
+	miter2, inputs, err := berkmin.MiterWithInputs(ripple, buggy)
+	if err != nil {
+		panic(err)
+	}
+	s2 := berkmin.New()
+	s2.AddFormula(miter2)
+	res2 := s2.Solve()
+	fmt.Printf("ripple vs faulted lookahead:   %v", res2.Status)
+	if res2.Status == berkmin.StatusSat {
+		fmt.Println("  -> circuits DIFFER; distinguishing input:")
+		in := make([]bool, ripple.NumInputs())
+		for i, v := range inputs {
+			in[i] = res2.Model[v]
+		}
+		a, b, cin := busValue(in[0:bits]), busValue(in[bits:2*bits]), in[2*bits]
+		fmt.Printf("     a=%d b=%d cin=%v\n", a, b, cin)
+		good := ripple.Eval(in)
+		bad := buggy.Eval(in)
+		fmt.Printf("     correct sum=%d, faulty sum=%d\n",
+			busValue(good[:bits+1]), busValue(bad[:bits+1]))
+	} else if res2.Status == berkmin.StatusUnsat {
+		fmt.Println("  -> this particular fault was unobservable")
+	}
+}
+
+func busValue(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

@@ -1,0 +1,39 @@
+// Skin effect: reproduce the paper's §6 observation live. Solving a hard
+// instance with the instrumented solver yields the f(r) histogram — the
+// number of times the branching variable was taken from the conflict
+// clause at distance r from the top of the stack — which decays steeply:
+// the youngest clauses drive almost all decisions.
+package main
+
+import (
+	"fmt"
+
+	"berkmin"
+)
+
+func main() {
+	inst := berkmin.PipeUnsat(4, 5, 52) // an Fvp-unsat2.0-style instance
+	fmt.Printf("instance: %s (expected %v)\n", inst.Name, inst.Expected)
+
+	s := berkmin.New()
+	s.AddFormula(inst.Formula)
+	res := s.Solve()
+	fmt.Printf("status: %v after %d conflicts, %d decisions\n",
+		res.Status, res.Stats.Conflicts, res.Stats.Decisions)
+	fmt.Printf("decisions on the conflict-clause stack: %d (%.1f%%)\n",
+		res.Stats.TopClauseDecisions,
+		100*float64(res.Stats.TopClauseDecisions)/float64(res.Stats.Decisions))
+
+	fmt.Println("\nr      f(r)   (distance from the top of the clause stack)")
+	for _, r := range []int{0, 1, 2, 3, 4, 5, 10, 25, 50, 100, 250, 500, 1000} {
+		bar := ""
+		n := res.Stats.Skin.At(r)
+		for i := uint64(0); i < n/20 && i < 60; i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-6d %-6d %s\n", r, n, bar)
+	}
+	fmt.Println("\nThe decay is the paper's 'skin effect': young conflict clauses")
+	fmt.Println("dominate decision-making, which is why BerkMin keeps them and")
+	fmt.Println("prunes old passive ones (§8).")
+}

@@ -1,0 +1,37 @@
+package berkmin
+
+import (
+	"io"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/dimacs"
+)
+
+// Formula is a CNF formula in the solver's native representation.
+type Formula = cnf.Formula
+
+// NewFormula returns an empty formula over n variables; clauses added with
+// AddClause (signed DIMACS literals) grow the variable count as needed.
+func NewFormula(n int) *Formula { return cnf.New(n) }
+
+// ReadDimacs parses a DIMACS CNF stream.
+func ReadDimacs(r io.Reader) (*Formula, error) { return dimacs.Read(r) }
+
+// ReadDimacsFile parses a DIMACS CNF file.
+func ReadDimacsFile(path string) (*Formula, error) { return dimacs.ReadFile(path) }
+
+// WriteDimacs serializes a formula in DIMACS CNF format.
+func WriteDimacs(w io.Writer, f *Formula) error { return dimacs.Write(w, f) }
+
+// WriteDimacsFile serializes a formula to a DIMACS CNF file.
+func WriteDimacsFile(path string, f *Formula) error { return dimacs.WriteFile(path, f) }
+
+// WriteModel writes a satisfying assignment in SAT-competition "v"-line
+// format.
+func WriteModel(w io.Writer, model []bool) error { return dimacs.WriteModel(w, model) }
+
+// Verify reports whether the model (Model[v] = value of variable v)
+// satisfies the formula.
+func Verify(f *Formula, model []bool) bool {
+	return cnf.Assignment(model).Satisfies(f)
+}

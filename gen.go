@@ -1,0 +1,70 @@
+package berkmin
+
+import (
+	"berkmin/internal/gen"
+)
+
+// Instance is a generated benchmark CNF with provenance and a known
+// expected status.
+type Instance = gen.Instance
+
+// Expected is a generator-declared satisfiability status.
+type Expected = gen.Expected
+
+// Expected statuses.
+const (
+	ExpUnknown = gen.ExpUnknown
+	ExpSat     = gen.ExpSat
+	ExpUnsat   = gen.ExpUnsat
+)
+
+// Benchmark generators for every workload class of the paper's evaluation.
+// Each returns an Instance whose Formula can be fed to Solver.AddFormula.
+var (
+	// Pigeonhole builds holeN: n+1 pigeons into n holes (UNSAT).
+	Pigeonhole = gen.Pigeonhole
+	// Parity builds planted GF(2) XOR-chain instances (SAT), the Par16
+	// class shape.
+	Parity = gen.Parity
+	// Hanoi builds the Towers-of-Hanoi SAT-plan encoding at the optimal
+	// horizon (SAT).
+	Hanoi = gen.Hanoi
+	// HanoiPlan decodes a Hanoi model into the move sequence.
+	HanoiPlan = gen.HanoiPlan
+	// Blocksworld builds SATPLAN-style blocks-world planning instances
+	// (SAT).
+	Blocksworld = gen.Blocksworld
+	// BlocksworldPlan decodes a Blocksworld model into the move sequence.
+	BlocksworldPlan = gen.BlocksworldPlan
+	// Queens builds the n-queens CNF.
+	Queens = gen.Queens
+	// RandomKSat builds uniform random k-SAT.
+	RandomKSat = gen.RandomKSat
+	// MiterUnsat miters a random circuit against its equivalence-preserving
+	// rewrite (UNSAT) — the paper's Miters class methodology.
+	MiterUnsat = gen.MiterUnsat
+	// MiterSat is the satisfiable variant (an observable fault is injected).
+	MiterSat = gen.MiterSat
+	// AdderMiter miters two structurally different adders (UNSAT).
+	AdderMiter = gen.AdderMiter
+	// BuggyAdderMiter miters an adder against a faulted one (SAT).
+	BuggyAdderMiter = gen.BuggyAdderMiter
+	// MultiplierMiter miters an array multiplier against its rewrite
+	// (UNSAT, hard).
+	MultiplierMiter = gen.MultiplierMiter
+	// PipelineVerification builds Sss-style processor-verification miters.
+	PipelineVerification = gen.PipelineVerification
+	// PipeUnsat builds Fvp-unsat2.0-style instances of growing depth.
+	PipeUnsat = gen.PipeUnsat
+	// VliwSat builds wide satisfiable Vliw-sat1.0-style instances.
+	VliwSat = gen.VliwSat
+	// GatedConeMiter builds the Figure 1 gated-cone situation as a miter.
+	GatedConeMiter = gen.GatedConeMiter
+	// CompetitionSuite regenerates the SAT-2002-style Table 10 set.
+	CompetitionSuite = gen.CompetitionSuite
+	// GraphColoring builds planted-SAT or clique-UNSAT k-coloring CNFs.
+	GraphColoring = gen.GraphColoring
+	// TseitinGraph builds Urquhart-style XOR formulas over a torus grid
+	// (UNSAT with an odd total charge — the canonical hard UNSAT family).
+	TseitinGraph = gen.TseitinGraph
+)

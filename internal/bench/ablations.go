@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+
+	"berkmin/internal/core"
+)
+
+// Ablations beyond the paper's own tables, for the design choices
+// DESIGN.md §5 calls out. Each runs a family of configurations over the
+// hard-instance instrument set and reports per-config totals.
+
+// ablationReport runs each configuration over the hard set.
+func ablationReport(title string, cfgs []Config, sc Scale, lim Limits, notes []string) *Report {
+	insts := HardInstances(sc)
+	rep := &Report{
+		Title:  title,
+		Header: []string{"Config", "Total (s)", "Conflicts", "Decisions", "Aborted"},
+		Notes:  notes,
+	}
+	for _, cfg := range cfgs {
+		var cr ClassResult
+		for _, inst := range insts {
+			r := RunInstance(inst, cfg, lim)
+			cr.Time += r.Stats.Runtime
+			cr.Conflicts += r.Stats.Conflicts
+			cr.Decisions += r.Stats.Decisions
+			if r.Aborted {
+				cr.Aborted++
+			}
+			if r.Wrong {
+				cr.Wrong++
+			}
+		}
+		row := []string{cfg.Name, fmtSeconds(cr.Time),
+			fmt.Sprintf("%d", cr.Conflicts), fmt.Sprintf("%d", cr.Decisions),
+			fmt.Sprintf("%d", cr.Aborted)}
+		rep.Rows = append(rep.Rows, row)
+		if cr.Wrong > 0 {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("WARNING: %s produced %d wrong answers", cfg.Name, cr.Wrong))
+		}
+	}
+	return rep
+}
+
+// AblationYoungFraction varies the young-zone size (paper: 15/16).
+func AblationYoungFraction(sc Scale, lim Limits) *Report {
+	var cfgs []Config
+	for _, f := range []struct{ num, den int }{{1, 16}, {1, 4}, {1, 2}, {3, 4}, {15, 16}} {
+		o := core.DefaultOptions()
+		o.YoungFracNum, o.YoungFracDen = f.num, f.den
+		cfgs = append(cfgs, Config{fmt.Sprintf("young=%d/%d", f.num, f.den), o})
+	}
+	return ablationReport("Ablation — young-clause fraction (§8; paper uses 15/16)",
+		cfgs, sc, lim, []string{"smaller young zones delete more aggressively"})
+}
+
+// AblationRestart compares restart policies (paper: fixed ≈550, 'close to
+// random').
+func AblationRestart(sc Scale, lim Limits) *Report {
+	mk := func(name string, set func(*core.Options)) Config {
+		o := core.DefaultOptions()
+		set(&o)
+		return Config{name, o}
+	}
+	cfgs := []Config{
+		mk("fixed550", func(o *core.Options) {}),
+		mk("fixed100", func(o *core.Options) { o.RestartFirst = 100; o.RestartJitter = 10 }),
+		mk("geometric", func(o *core.Options) {
+			o.Restart = core.RestartGeometric
+			o.RestartFirst = 100
+			o.RestartFactor = 1.5
+		}),
+		mk("luby64", func(o *core.Options) { o.Restart = core.RestartLuby; o.RestartFirst = 64 }),
+		mk("never", func(o *core.Options) { o.Restart = core.RestartNever }),
+	}
+	return ablationReport("Ablation — restart policy (the paper calls BerkMin's 'primitive, close to random')",
+		cfgs, sc, lim, nil)
+}
+
+// AblationAging varies the activity decay.
+func AblationAging(sc Scale, lim Limits) *Report {
+	var cfgs []Config
+	for _, a := range []struct {
+		period  uint64
+		divisor int64
+	}{{100, 4}, {100, 2}, {25, 2}, {400, 16}, {1 << 62, 2}} {
+		o := core.DefaultOptions()
+		o.AgingPeriod = a.period
+		o.AgingDivisor = a.divisor
+		name := fmt.Sprintf("div%d/%d", a.divisor, a.period)
+		if a.period == 1<<62 {
+			name = "no-aging"
+		}
+		cfgs = append(cfgs, Config{name, o})
+	}
+	return ablationReport("Ablation — activity aging (Chaff-inherited decay)",
+		cfgs, sc, lim, nil)
+}
+
+// AblationNbTwo varies the nb_two threshold (paper: 100).
+func AblationNbTwo(sc Scale, lim Limits) *Report {
+	var cfgs []Config
+	for _, th := range []int{1, 10, 100, 1000} {
+		o := core.DefaultOptions()
+		o.NbTwoThreshold = th
+		cfgs = append(cfgs, Config{fmt.Sprintf("nb_two<=%d", th), o})
+	}
+	return ablationReport("Ablation — nb_two threshold (§7; paper uses 100)",
+		cfgs, sc, lim, nil)
+}
+
+// AblationGlobalPick compares the naive scan with strategy 3 (Remark 1).
+func AblationGlobalPick(sc Scale, lim Limits) *Report {
+	naive := core.DefaultOptions()
+	opt := core.DefaultOptions()
+	opt.OptimizedGlobalPick = true
+	return ablationReport("Ablation — global most-active pick: naive scan vs strategy 3 (Remark 1)",
+		[]Config{{"naive", naive}, {"strategy3", opt}}, sc, lim, nil)
+}
+
+// AblationMinimize measures learnt-clause minimization (post-BerkMin).
+func AblationMinimize(sc Scale, lim Limits) *Report {
+	off := core.DefaultOptions()
+	on := core.DefaultOptions()
+	on.MinimizeLearnt = true
+	return ablationReport("Ablation — learnt-clause minimization (post-BerkMin extension)",
+		[]Config{{"off", off}, {"on", on}}, sc, lim, nil)
+}
+
+// AblationPhaseSaving measures phase saving against the paper's §7
+// polarity heuristics.
+func AblationPhaseSaving(sc Scale, lim Limits) *Report {
+	off := core.DefaultOptions()
+	on := core.DefaultOptions()
+	on.PhaseSaving = true
+	return ablationReport("Ablation — phase saving vs the paper's §7 polarity heuristics (post-BerkMin extension)",
+		[]Config{{"lit-activity+nb_two", off}, {"phase-saving", on}}, sc, lim, nil)
+}
+
+// Ablation dispatches by name.
+func Ablation(name string, sc Scale, lim Limits) (*Report, error) {
+	switch name {
+	case "youngfrac":
+		return AblationYoungFraction(sc, lim), nil
+	case "restart":
+		return AblationRestart(sc, lim), nil
+	case "aging":
+		return AblationAging(sc, lim), nil
+	case "nbtwo":
+		return AblationNbTwo(sc, lim), nil
+	case "globalpick":
+		return AblationGlobalPick(sc, lim), nil
+	case "minimize":
+		return AblationMinimize(sc, lim), nil
+	case "phase":
+		return AblationPhaseSaving(sc, lim), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase)", name)
+	}
+}
+
+// AblationNames lists the available ablation experiments.
+func AblationNames() []string {
+	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase"}
+}

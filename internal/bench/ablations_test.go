@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+var ablationLimits = Limits{MaxConflicts: 50_000, MaxTime: 20 * time.Second}
+
+func TestAblationDispatcher(t *testing.T) {
+	for _, name := range AblationNames() {
+		if name == "youngfrac" || name == "restart" {
+			continue // covered below with result checks
+		}
+		rep, err := Ablation(name, Small, ablationLimits)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Rows) < 2 {
+			t.Fatalf("%s: rows = %d", name, len(rep.Rows))
+		}
+	}
+	if _, err := Ablation("nope", Small, ablationLimits); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestAblationYoungFractionRows(t *testing.T) {
+	rep := AblationYoungFraction(Small, ablationLimits)
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[4] != "0" {
+			t.Fatalf("aborted runs in %v", row)
+		}
+	}
+	for _, n := range rep.Notes {
+		if len(n) > 7 && n[:7] == "WARNING" {
+			t.Fatalf("wrong answers: %s", n)
+		}
+	}
+}
+
+func TestAblationRestartRows(t *testing.T) {
+	rep := AblationRestart(Small, ablationLimits)
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"berkmin/internal/core"
+)
+
+// Report is a rendered experiment: a title, a column header, rows, and the
+// paper's qualitative claim for comparison.
+type Report struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(r.Header)
+	for i := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]))
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// classComparison runs several configs over all classes and renders one row
+// per class plus a Total row — the shape of Tables 1, 2, 4 and 5.
+func classComparison(title string, classes []Class, cfgs []Config, lim Limits, notes []string) *Report {
+	rep := &Report{Title: title, Notes: notes}
+	rep.Header = append([]string{"Class"}, make([]string, len(cfgs))...)
+	for i, c := range cfgs {
+		rep.Header[i+1] = c.Name + " (s)"
+	}
+	totals := make([]ClassResult, len(cfgs))
+	for _, cl := range classes {
+		row := []string{cl.Name}
+		for i, cfg := range cfgs {
+			r := RunClass(cl.Name, cl.Instances, cfg, lim)
+			totals[i].Time += r.Time
+			totals[i].Aborted += r.Aborted
+			totals[i].Wrong += r.Wrong
+			row = append(row, fmtTotal(r, lim))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	totalRow := []string{"Total"}
+	for _, t := range totals {
+		totalRow = append(totalRow, fmtTotal(t, lim))
+	}
+	rep.Rows = append(rep.Rows, totalRow)
+	for i, t := range totals {
+		if t.Wrong > 0 {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("WARNING: config %s produced %d wrong answers", cfgs[i].Name, t.Wrong))
+		}
+	}
+	return rep
+}
+
+// Table1 compares BerkMin with the Less_sensitivity ablation (§4).
+func Table1(sc Scale, lim Limits) *Report {
+	return classComparison(
+		"Table 1 — Changing sensitivity of decision-making",
+		Classes(sc),
+		[]Config{
+			{"BerkMin", core.DefaultOptions()},
+			{"Less_sensitivity", core.LessSensitivityOptions()},
+		}, lim,
+		[]string{"paper: responsible-clause bumping wins overall (20,412s vs 51,498s), especially on Hanoi/Miters/Fvp_unsat2.0"})
+}
+
+// Table2 compares BerkMin with the Less_mobility ablation (§5).
+func Table2(sc Scale, lim Limits) *Report {
+	return classComparison(
+		"Table 2 — Changing mobility of decision-making",
+		Classes(sc),
+		[]Config{
+			{"BerkMin", core.DefaultOptions()},
+			{"Less_mobility", core.LessMobilityOptions()},
+		}, lim,
+		[]string{"paper: top-clause branching wins overall (20,412s vs >258,959s with 3 aborts on Beijing/Miters/Fvp_unsat2.0)"})
+}
+
+// Table3 reports the skin-effect histogram f(r) on five hard instances (§6).
+func Table3(sc Scale, lim Limits) *Report {
+	insts := HardInstances(sc)
+	rep := &Report{
+		Title:  "Table 3 — Skin effect: f(r) = decisions taken on the clause at distance r from the top",
+		Header: []string{"Distance"},
+		Notes: []string{
+			"paper: f(r) decreases sharply with r — the youngest clauses drive decision-making",
+			"instances: (1) miter (2) hanoi (3) beijing-like (4) pipe (5) vliw",
+		},
+	}
+	hists := make([]core.SkinHist, len(insts))
+	for i, inst := range insts {
+		rep.Header = append(rep.Header, fmt.Sprintf("(%d)", i+1))
+		r := RunInstance(inst, Config{"BerkMin", core.DefaultOptions()}, lim)
+		hists[i] = r.Stats.Skin
+	}
+	for _, r := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 100, 500, 1000, 2000} {
+		row := []string{fmt.Sprintf("f(%d)", r)}
+		for _, h := range hists {
+			row = append(row, fmt.Sprintf("%d", h.At(r)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Table4 compares the six branch-selection heuristics (§7).
+func Table4(sc Scale, lim Limits) *Report {
+	return classComparison(
+		"Table 4 — Branch selection",
+		Classes(sc),
+		[]Config{
+			{"BerkMin", core.DefaultOptions()},
+			{"Sat_top", core.BranchOptions(core.PolaritySatTop)},
+			{"Unsat_top", core.BranchOptions(core.PolarityUnsatTop)},
+			{"Take_0", core.BranchOptions(core.PolarityTake0)},
+			{"Take_1", core.BranchOptions(core.PolarityTake1)},
+			{"Take_rand", core.BranchOptions(core.PolarityTakeRand)},
+		}, lim,
+		[]string{"paper: BerkMin's lit-activity rule and Take_rand are best (20,412s / 24,845s); Unsat_top and Take_1 abort instances"})
+}
+
+// Table5 compares BerkMin's database management with Limited_keeping (§8).
+func Table5(sc Scale, lim Limits) *Report {
+	return classComparison(
+		"Table 5 — Database management",
+		Classes(sc),
+		[]Config{
+			{"BerkMin", core.DefaultOptions()},
+			{"Limited_keeping", core.LimitedKeepingOptions()},
+		}, lim,
+		[]string{"paper: age/activity/length management wins overall (20,412s vs 57,881s), >2x on Hanoi/Miters/Fvp_unsat2.0"})
+}
+
+// Table6 compares BerkMin with the zChaff-like configuration on the classes
+// where the paper found them comparable.
+func Table6(sc Scale, lim Limits) *Report {
+	classes := ComparableClasses(sc)
+	rep := &Report{
+		Title:  "Table 6 — Benchmarks on which Chaff's and BerkMin's performances are comparable",
+		Header: []string{"Class", "Instances", "zChaff-like (s)", "BerkMin (s)"},
+		Notes:  []string{"paper: mixed wins; e.g. Chaff better on Hole, BerkMin on Sss/Vliw classes"},
+	}
+	for _, cl := range classes {
+		ch := RunClass(cl.Name, cl.Instances, Config{"chaff", core.ChaffOptions()}, lim)
+		bm := RunClass(cl.Name, cl.Instances, Config{"berkmin", core.DefaultOptions()}, lim)
+		rep.Rows = append(rep.Rows, []string{
+			cl.Name, fmt.Sprintf("%d", len(cl.Instances)), fmtTotal(ch, lim), fmtTotal(bm, lim),
+		})
+	}
+	return rep
+}
+
+// Table7 compares the two solvers on the classes the paper says BerkMin
+// dominates, reporting aborted counts.
+func Table7(sc Scale, lim Limits) *Report {
+	classes := DominatedClasses(sc)
+	rep := &Report{
+		Title:  "Table 7 — Benchmarks on which BerkMin dominates",
+		Header: []string{"Class", "Instances", "zChaff-like (s)", "zChaff aborted", "BerkMin (s)", "BerkMin aborted"},
+		Notes:  []string{"paper: Chaff aborts instances of Beijing/Miters/Fvp-unsat2.0; BerkMin aborts none"},
+	}
+	for _, cl := range classes {
+		ch := RunClass(cl.Name, cl.Instances, Config{"chaff", core.ChaffOptions()}, lim)
+		bm := RunClass(cl.Name, cl.Instances, Config{"berkmin", core.DefaultOptions()}, lim)
+		rep.Rows = append(rep.Rows, []string{
+			cl.Name, fmt.Sprintf("%d", len(cl.Instances)),
+			fmtSeconds(ch.Time), fmt.Sprintf("%d", ch.Aborted),
+			fmtSeconds(bm.Time), fmt.Sprintf("%d", bm.Aborted),
+		})
+	}
+	return rep
+}
+
+// Table8 reports per-instance decisions and runtime for both solvers.
+func Table8(sc Scale, lim Limits) *Report {
+	insts := DetailInstances(sc)
+	rep := &Report{
+		Title:  "Table 8 — Details of performance on some instances (runtimes, decisions)",
+		Header: []string{"Instance", "Sat?", "zChaff decisions", "zChaff time (s)", "BerkMin decisions", "BerkMin time (s)"},
+		Notes:  []string{"paper: BerkMin wins because it builds smaller search trees (fewer decisions)"},
+	}
+	for _, inst := range insts {
+		ch := RunInstance(inst, Config{"chaff", core.ChaffOptions()}, lim)
+		bm := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, lim)
+		rep.Rows = append(rep.Rows, []string{
+			inst.Name, inst.Expected.String(),
+			fmtCount(ch), fmtTime(ch),
+			fmtCount(bm), fmtTime(bm),
+		})
+	}
+	return rep
+}
+
+func fmtCount(r InstanceResult) string {
+	s := fmt.Sprintf("%d", r.Stats.Decisions)
+	if r.Aborted {
+		s += "*"
+	}
+	return s
+}
+
+func fmtTime(r InstanceResult) string {
+	s := fmtSeconds(r.Stats.Runtime)
+	if r.Aborted {
+		s = ">" + s
+	}
+	return s
+}
+
+// Table9 reports the database-size ratios of both solvers and BerkMin's
+// peak live-clause ratio.
+func Table9(sc Scale, lim Limits) *Report {
+	insts := DetailInstances(sc)
+	rep := &Report{
+		Title:  "Table 9 — Database size relative to the initial CNF",
+		Header: []string{"Instance", "Sat?", "zChaff DB/initial", "BerkMin DB/initial", "BerkMin peak/initial"},
+		Notes: []string{
+			"paper: BerkMin's database is several times smaller; its peak live CNF stays within ~4x of the input",
+			"DB/initial = (conflict clauses ever generated + initial clauses) / initial clauses",
+		},
+	}
+	for _, inst := range insts {
+		ch := RunInstance(inst, Config{"chaff", core.ChaffOptions()}, lim)
+		bm := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, lim)
+		rep.Rows = append(rep.Rows, []string{
+			inst.Name, inst.Expected.String(),
+			fmt.Sprintf("%.2f", ch.Stats.DatabaseRatio()),
+			fmt.Sprintf("%.2f", bm.Stats.DatabaseRatio()),
+			fmt.Sprintf("%.2f", bm.Stats.PeakRatio()),
+		})
+	}
+	return rep
+}
+
+// Table10 runs the SAT-2002-style competition set with three solvers and a
+// per-instance timeout, reporting solved counts.
+func Table10(sc Scale, lim Limits) *Report {
+	insts := CompetitionSet(sc)
+	cfgs := []Config{
+		{"BerkMin", core.DefaultOptions()},
+		{"limmat-like", core.LimmatOptions()},
+		{"zChaff-like", core.ChaffOptions()},
+	}
+	rep := &Report{
+		Title:  "Table 10 — Performance on SAT-2002-competition-style instances ('*' = not solved within the limit)",
+		Header: []string{"Instance", "Sat?", "BerkMin (s)", "limmat-like (s)", "zChaff-like (s)"},
+		Notes:  []string{"paper: BerkMin solves 15 of the 31 second-stage instances; limmat 4; zChaff 7"},
+	}
+	solved := make([]int, len(cfgs))
+	solvedSat := make([]int, len(cfgs))
+	for _, inst := range insts {
+		row := []string{inst.Name, inst.Expected.String()}
+		for i, cfg := range cfgs {
+			r := RunInstance(inst, cfg, lim)
+			if r.Aborted {
+				row = append(row, "*")
+			} else {
+				row = append(row, fmtSeconds(r.Stats.Runtime))
+				solved[i]++
+				if r.Status == core.StatusSat {
+					solvedSat[i]++
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	totalRow := []string{"Total solved", ""}
+	satRow := []string{"Total solved satisfiable", ""}
+	for i := range cfgs {
+		totalRow = append(totalRow, fmt.Sprintf("%d", solved[i]))
+		satRow = append(satRow, fmt.Sprintf("%d", solvedSat[i]))
+	}
+	rep.Rows = append(rep.Rows, totalRow, satRow)
+	return rep
+}
+
+// Table is the dispatcher used by cmd/satbench: it runs the numbered table.
+func Table(n int, sc Scale, lim Limits) (*Report, error) {
+	switch n {
+	case 1:
+		return Table1(sc, lim), nil
+	case 2:
+		return Table2(sc, lim), nil
+	case 3:
+		return Table3(sc, lim), nil
+	case 4:
+		return Table4(sc, lim), nil
+	case 5:
+		return Table5(sc, lim), nil
+	case 6:
+		return Table6(sc, lim), nil
+	case 7:
+		return Table7(sc, lim), nil
+	case 8:
+		return Table8(sc, lim), nil
+	case 9:
+		return Table9(sc, lim), nil
+	case 10:
+		return Table10(sc, lim), nil
+	default:
+		return nil, fmt.Errorf("bench: no table %d (the paper has Tables 1-10)", n)
+	}
+}

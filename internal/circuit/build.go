@@ -1,0 +1,260 @@
+package circuit
+
+import "fmt"
+
+// This file contains parameterized datapath builders: adders in several
+// architectures, an array multiplier, comparators, shifters and a small
+// ALU. The benchmark generators combine them into equivalence-checking
+// miters (Beijing-like adder instances, Miters, processor-verification
+// classes).
+
+// RippleAdder builds an n-bit ripple-carry adder: inputs a0.., b0.., cin;
+// outputs s0..s(n-1), cout.
+func RippleAdder(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	carry := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		sum, cout := fullAdder(c, a[i], b[i], carry)
+		c.AddOutput(fmt.Sprintf("s%d", i), sum)
+		carry = cout
+	}
+	c.AddOutput("cout", carry)
+	return c
+}
+
+func fullAdder(c *Circuit, a, b, cin Signal) (sum, cout Signal) {
+	axb := c.XorGate(a, b)
+	sum = c.XorGate(axb, cin)
+	cout = c.OrGate(c.AndGate(a, b), c.AndGate(axb, cin))
+	return sum, cout
+}
+
+// CarryLookaheadAdder builds an n-bit carry-lookahead adder with the same
+// interface as RippleAdder: per-bit generate/propagate terms and carries
+// computed by expanded lookahead expressions. Structurally very different
+// from the ripple design, functionally identical — the classic
+// equivalence-checking pair.
+func CarryLookaheadAdder(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	cin := c.AddInput("cin")
+	g := make([]Signal, n) // generate
+	p := make([]Signal, n) // propagate
+	for i := 0; i < n; i++ {
+		g[i] = c.AndGate(a[i], b[i])
+		p[i] = c.XorGate(a[i], b[i])
+	}
+	// carry[i] = g[i-1] ∨ (p[i-1] ∧ g[i-2]) ∨ ... ∨ (p[i-1]...p[0] ∧ cin)
+	carry := make([]Signal, n+1)
+	carry[0] = cin
+	for i := 1; i <= n; i++ {
+		terms := make([]Signal, 0, i+1)
+		terms = append(terms, g[i-1])
+		for j := i - 2; j >= 0; j-- {
+			// p[i-1] & p[i-2] & ... & p[j+1] & g[j]
+			and := []Signal{g[j]}
+			for k := j + 1; k <= i-1; k++ {
+				and = append(and, p[k])
+			}
+			terms = append(terms, c.AndGate(and...))
+		}
+		all := []Signal{cin}
+		for k := 0; k <= i-1; k++ {
+			all = append(all, p[k])
+		}
+		terms = append(terms, c.AndGate(all...))
+		carry[i] = c.OrGate(terms...)
+	}
+	for i := 0; i < n; i++ {
+		c.AddOutput(fmt.Sprintf("s%d", i), c.XorGate(p[i], carry[i]))
+	}
+	c.AddOutput("cout", carry[n])
+	return c
+}
+
+// CarrySelectAdder builds an n-bit carry-select adder (blocks of the given
+// size computed for both carry hypotheses, then muxed). A third
+// structurally distinct implementation of the same function.
+func CarrySelectAdder(n, block int) *Circuit {
+	if block < 1 {
+		block = 4
+	}
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	carry := c.AddInput("cin")
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		// Compute the block twice: carry-in 0 and carry-in 1.
+		sum0 := make([]Signal, hi-lo)
+		sum1 := make([]Signal, hi-lo)
+		c0, c1 := c.False(), c.True()
+		for i := lo; i < hi; i++ {
+			sum0[i-lo], c0 = fullAdder(c, a[i], b[i], c0)
+			sum1[i-lo], c1 = fullAdder(c, a[i], b[i], c1)
+		}
+		for i := lo; i < hi; i++ {
+			c.AddOutput(fmt.Sprintf("s%d", i), c.MuxGate(carry, sum1[i-lo], sum0[i-lo]))
+		}
+		carry = c.MuxGate(carry, c1, c0)
+	}
+	c.AddOutput("cout", carry)
+	return c
+}
+
+// ArrayMultiplier builds an n×n-bit array multiplier producing a 2n-bit
+// product. Multiplier miters are among the hardest equivalence-checking
+// instances known — the paper's "2bitadd" Beijing instances are cousins.
+func ArrayMultiplier(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	// Partial products.
+	pp := make([][]Signal, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]Signal, n)
+		for j := 0; j < n; j++ {
+			pp[i][j] = c.AndGate(a[j], b[i])
+		}
+	}
+	// Row-by-row carry-save accumulation.
+	sum := make([]Signal, 2*n)
+	for k := range sum {
+		sum[k] = c.False()
+	}
+	for i := 0; i < n; i++ {
+		carry := c.False()
+		for j := 0; j < n; j++ {
+			s, co := fullAdder(c, sum[i+j], pp[i][j], carry)
+			sum[i+j] = s
+			carry = co
+		}
+		// Propagate the row's final carry upward.
+		for k := i + n; k < 2*n && carry != c.False(); k++ {
+			s, co := halfAdder(c, sum[k], carry)
+			sum[k] = s
+			carry = co
+		}
+	}
+	for k := 0; k < 2*n; k++ {
+		c.AddOutput(fmt.Sprintf("p%d", k), sum[k])
+	}
+	return c
+}
+
+func halfAdder(c *Circuit, a, b Signal) (sum, cout Signal) {
+	return c.XorGate(a, b), c.AndGate(a, b)
+}
+
+// Comparator builds an n-bit unsigned comparator with outputs lt, eq, gt.
+func Comparator(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	eq := c.True()
+	lt := c.False()
+	gt := c.False()
+	for i := n - 1; i >= 0; i-- {
+		bitEq := c.XnorGate(a[i], b[i])
+		bitLt := c.AndGate(a[i].Invert(), b[i])
+		bitGt := c.AndGate(a[i], b[i].Invert())
+		lt = c.OrGate(lt, c.AndGate(eq, bitLt))
+		gt = c.OrGate(gt, c.AndGate(eq, bitGt))
+		eq = c.AndGate(eq, bitEq)
+	}
+	c.AddOutput("lt", lt)
+	c.AddOutput("eq", eq)
+	c.AddOutput("gt", gt)
+	return c
+}
+
+// BarrelShifter builds an n-bit logical left shifter with log2-staged
+// muxes; n must be a power of two. Inputs: data d0.., shift amount sh0...
+func BarrelShifter(n int) *Circuit {
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+	if 1<<logn != n {
+		panic("circuit: BarrelShifter size must be a power of two")
+	}
+	c := New()
+	d := c.AddInputs("d", n)
+	sh := c.AddInputs("sh", logn)
+	cur := d
+	for stage := 0; stage < logn; stage++ {
+		k := 1 << stage
+		next := make([]Signal, n)
+		for i := 0; i < n; i++ {
+			var shifted Signal
+			if i >= k {
+				shifted = cur[i-k]
+			} else {
+				shifted = c.False()
+			}
+			next[i] = c.MuxGate(sh[stage], shifted, cur[i])
+		}
+		cur = next
+	}
+	for i := 0; i < n; i++ {
+		c.AddOutput(fmt.Sprintf("q%d", i), cur[i])
+	}
+	return c
+}
+
+// ALUOpBits is the number of operation-select bits of ALU.
+const ALUOpBits = 2
+
+// ALU builds a small n-bit ALU: op 00 = add, 01 = and, 10 = or, 11 = xor.
+// Outputs are the n result bits. The VLIW/pipeline-verification generators
+// instantiate several of these.
+func ALU(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	op := c.AddInputs("op", ALUOpBits)
+	// add
+	sums := make([]Signal, n)
+	carry := c.False()
+	for i := 0; i < n; i++ {
+		sums[i], carry = fullAdder(c, a[i], b[i], carry)
+	}
+	for i := 0; i < n; i++ {
+		andr := c.AndGate(a[i], b[i])
+		orr := c.OrGate(a[i], b[i])
+		xorr := c.XorGate(a[i], b[i])
+		// select by op
+		sel0 := c.AndGate(op[0].Invert(), op[1].Invert()) // add
+		sel1 := c.AndGate(op[0], op[1].Invert())          // and
+		sel2 := c.AndGate(op[0].Invert(), op[1])          // or
+		sel3 := c.AndGate(op[0], op[1])                   // xor
+		r := c.OrGate(
+			c.AndGate(sel0, sums[i]),
+			c.AndGate(sel1, andr),
+			c.AndGate(sel2, orr),
+			c.AndGate(sel3, xorr),
+		)
+		c.AddOutput(fmt.Sprintf("r%d", i), r)
+	}
+	return c
+}
+
+// EqualConst builds the signal asserting that the bus equals the constant
+// value (bit i of value matched against bus[i]).
+func EqualConst(c *Circuit, bus []Signal, value uint64) Signal {
+	terms := make([]Signal, len(bus))
+	for i, s := range bus {
+		if value&(1<<uint(i)) != 0 {
+			terms[i] = s
+		} else {
+			terms[i] = s.Invert()
+		}
+	}
+	return c.AndGate(terms...)
+}

@@ -1,0 +1,492 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+)
+
+func TestConstAndInputs(t *testing.T) {
+	c := New()
+	x := c.AddInput("x")
+	c.AddOutput("o1", x)
+	c.AddOutput("o2", x.Invert())
+	c.AddOutput("t", c.True())
+	c.AddOutput("f", c.False())
+	out := c.Eval([]bool{true})
+	if !out[0] || out[1] || !out[2] || out[3] {
+		t.Fatalf("eval = %v", out)
+	}
+	out = c.Eval([]bool{false})
+	if out[0] || !out[1] {
+		t.Fatalf("eval = %v", out)
+	}
+}
+
+func TestGateOps(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	c.AddOutput("and", c.AndGate(a, b))
+	c.AddOutput("or", c.OrGate(a, b))
+	c.AddOutput("nand", c.NandGate(a, b))
+	c.AddOutput("nor", c.NorGate(a, b))
+	c.AddOutput("xor", c.XorGate(a, b))
+	c.AddOutput("xnor", c.XnorGate(a, b))
+	c.AddOutput("mux", c.MuxGate(a, b, b.Invert()))
+	c.AddOutput("buf", c.BufGate(a))
+	for m := 0; m < 4; m++ {
+		av, bv := m&1 != 0, m&2 != 0
+		out := c.Eval([]bool{av, bv})
+		want := []bool{
+			av && bv, av || bv, !(av && bv), !(av || bv),
+			av != bv, av == bv,
+			map[bool]bool{true: bv, false: !bv}[av],
+			av,
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("input %v%v output %d: got %v want %v", av, bv, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEval64MatchesEval(t *testing.T) {
+	c := Random(RandomOptions{Inputs: 6, Gates: 60, Outputs: 4, MaxFanin: 4, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	for iter := 0; iter < 20; iter++ {
+		in64 := make([]uint64, 6)
+		for i := range in64 {
+			in64[i] = rng.Uint64()
+		}
+		out64 := c.Eval64(in64)
+		for bit := 0; bit < 64; bit += 7 {
+			in := make([]bool, 6)
+			for i := range in {
+				in[i] = in64[i]&(1<<uint(bit)) != 0
+			}
+			out := c.Eval(in)
+			for j := range out {
+				if out[j] != (out64[j]&(1<<uint(bit)) != 0) {
+					t.Fatalf("bit %d output %d mismatch", bit, j)
+				}
+			}
+		}
+	}
+}
+
+func adderValue(out []bool) uint64 {
+	var v uint64
+	for i, b := range out {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func testAdder(t *testing.T, mk func(int) *Circuit, name string) {
+	t.Helper()
+	n := 4
+	c := mk(n)
+	if c.NumInputs() != 2*n+1 || c.NumOutputs() != n+1 {
+		t.Fatalf("%s interface: %d in %d out", name, c.NumInputs(), c.NumOutputs())
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			for cin := uint64(0); cin < 2; cin++ {
+				in := make([]bool, 2*n+1)
+				for i := 0; i < n; i++ {
+					in[i] = a&(1<<uint(i)) != 0
+					in[n+i] = b&(1<<uint(i)) != 0
+				}
+				in[2*n] = cin == 1
+				got := adderValue(c.Eval(in))
+				want := a + b + cin
+				if got != want {
+					t.Fatalf("%s: %d+%d+%d = %d, want %d", name, a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRippleAdder(t *testing.T)    { testAdder(t, RippleAdder, "ripple") }
+func TestCarryLookahead(t *testing.T) { testAdder(t, CarryLookaheadAdder, "cla") }
+func TestCarrySelectAdder(t *testing.T) {
+	testAdder(t, func(n int) *Circuit { return CarrySelectAdder(n, 2) }, "csel")
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	n := 3
+	c := ArrayMultiplier(n)
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[n+i] = b&(1<<uint(i)) != 0
+			}
+			got := adderValue(c.Eval(in))
+			if got != a*b {
+				t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	n := 3
+	c := Comparator(n)
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[n+i] = b&(1<<uint(i)) != 0
+			}
+			out := c.Eval(in)
+			if out[0] != (a < b) || out[1] != (a == b) || out[2] != (a > b) {
+				t.Fatalf("cmp(%d,%d) = %v", a, b, out)
+			}
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	n := 8
+	c := BarrelShifter(n)
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 100; iter++ {
+		d := uint64(rng.Intn(256))
+		sh := uint64(rng.Intn(8))
+		in := make([]bool, n+3)
+		for i := 0; i < n; i++ {
+			in[i] = d&(1<<uint(i)) != 0
+		}
+		for i := 0; i < 3; i++ {
+			in[n+i] = sh&(1<<uint(i)) != 0
+		}
+		got := adderValue(c.Eval(in))
+		want := (d << sh) & 0xFF
+		if got != want {
+			t.Fatalf("%d << %d = %d, want %d", d, sh, got, want)
+		}
+	}
+}
+
+func TestALU(t *testing.T) {
+	n := 4
+	c := ALU(n)
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		a := uint64(rng.Intn(16))
+		b := uint64(rng.Intn(16))
+		op := rng.Intn(4)
+		in := make([]bool, 2*n+2)
+		for i := 0; i < n; i++ {
+			in[i] = a&(1<<uint(i)) != 0
+			in[n+i] = b&(1<<uint(i)) != 0
+		}
+		in[2*n] = op&1 != 0
+		in[2*n+1] = op&2 != 0
+		got := adderValue(c.Eval(in))
+		var want uint64
+		switch op {
+		case 0:
+			want = (a + b) & 0xF
+		case 1:
+			want = a & b
+		case 2:
+			want = a | b
+		case 3:
+			want = a ^ b
+		}
+		if got != want {
+			t.Fatalf("alu op%d(%d,%d) = %d, want %d", op, a, b, got, want)
+		}
+	}
+}
+
+// TestTseitinAgainstEval checks that the Tseitin encoding has a model with
+// output=1 exactly when some input vector makes the circuit output 1, by
+// exhaustive comparison on small random circuits.
+func TestTseitinAgainstEval(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		c := Random(RandomOptions{Inputs: 4, Gates: 12, Outputs: 1, MaxFanin: 3, Seed: seed})
+		f, enc := ToCNF(c)
+		inVars := enc.InputVars(c)
+
+		reachable := false
+		for m := 0; m < 16; m++ {
+			in := make([]bool, 4)
+			for i := range in {
+				in[i] = m&(1<<i) != 0
+			}
+			if c.Eval(in)[0] {
+				reachable = true
+				break
+			}
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(f)
+		r := s.Solve()
+		if (r.Status == core.StatusSat) != reachable {
+			t.Fatalf("seed %d: solver=%v, eval reachable=%v", seed, r.Status, reachable)
+		}
+		if r.Status == core.StatusSat {
+			// The model's inputs must actually drive the output to 1.
+			in := make([]bool, 4)
+			for i, v := range inVars {
+				in[i] = r.Model[v]
+			}
+			if !c.Eval(in)[0] {
+				t.Fatalf("seed %d: counterexample decode failed", seed)
+			}
+		}
+	}
+}
+
+func TestRewritePreservesFunction(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		c := Random(RandomOptions{Inputs: 8, Gates: 80, Outputs: 5, MaxFanin: 4, Seed: seed})
+		r := Rewrite(c, seed+100)
+		if DiffersOnSample(c, r, 64, seed) {
+			t.Fatalf("seed %d: rewrite changed the function", seed)
+		}
+	}
+	// Also exhaustively on small circuits.
+	for seed := int64(50); seed < 55; seed++ {
+		c := Random(RandomOptions{Inputs: 5, Gates: 25, Outputs: 3, MaxFanin: 3, Seed: seed})
+		r := Rewrite(c, seed+7)
+		for m := 0; m < 32; m++ {
+			in := make([]bool, 5)
+			for i := range in {
+				in[i] = m&(1<<i) != 0
+			}
+			a, b := c.Eval(in), r.Eval(in)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("seed %d input %b output %d differs", seed, m, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMiterEquivalentUnsat(t *testing.T) {
+	a := RippleAdder(3)
+	b := CarryLookaheadAdder(3)
+	f, err := Miter(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("equivalent adders miter: %v", r.Status)
+	}
+}
+
+func TestMiterRewriteUnsat(t *testing.T) {
+	c := Random(RandomOptions{Inputs: 6, Gates: 40, Outputs: 3, MaxFanin: 3, Seed: 77})
+	r := Rewrite(c, 78)
+	f, err := Miter(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if res := s.Solve(); res.Status != core.StatusUnsat {
+		t.Fatalf("rewrite miter: %v", res.Status)
+	}
+}
+
+func TestMiterFaultSat(t *testing.T) {
+	c := RippleAdder(4)
+	for seed := int64(0); seed < 5; seed++ {
+		faulty := InjectFault(c, seed)
+		if !DiffersOnSample(c, faulty, 64, seed) {
+			continue // unobservable fault; skip
+		}
+		f, inputs, err := MiterWithInputs(c, faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(f)
+		r := s.Solve()
+		if r.Status != core.StatusSat {
+			t.Fatalf("seed %d: fault miter should be SAT, got %v", seed, r.Status)
+		}
+		// Decode and confirm the counterexample distinguishes the circuits.
+		in := make([]bool, c.NumInputs())
+		for i, v := range inputs {
+			in[i] = r.Model[v]
+		}
+		a, b := c.Eval(in), faulty.Eval(in)
+		same := true
+		for j := range a {
+			if a[j] != b[j] {
+				same = false
+			}
+		}
+		if same {
+			t.Fatalf("seed %d: counterexample does not distinguish", seed)
+		}
+	}
+}
+
+func TestMiterInterfaceErrors(t *testing.T) {
+	a := RippleAdder(2)
+	b := RippleAdder(3)
+	if _, err := Miter(a, b); err == nil {
+		t.Fatal("expected arity error")
+	}
+	empty := New()
+	empty.AddInputs("x", 5)
+	if _, err := Miter(empty, empty); err == nil {
+		t.Fatal("expected no-output error")
+	}
+}
+
+func TestCounterBMC(t *testing.T) {
+	sc := Counter(4, 5)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, wantSat := range map[int]bool{3: false, 4: false, 5: true, 7: true} {
+		f, err := sc.Unroll(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(f)
+		r := s.Solve()
+		if (r.Status == core.StatusSat) != wantSat {
+			t.Fatalf("counter unroll k=%d: %v, want sat=%v", k, r.Status, wantSat)
+		}
+	}
+}
+
+func TestFIFOBMC(t *testing.T) {
+	// Safe FIFO: no depth finds a violation.
+	safe := FIFO(2, false) // capacity 4
+	f, err := safe.Unroll(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("safe fifo: %v", r.Status)
+	}
+	// Buggy FIFO overflows after capacity+1 pushes.
+	buggy := FIFO(2, true)
+	f, err = buggy.Unroll(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusSat {
+		t.Fatalf("buggy fifo at depth 5: %v", r.Status)
+	}
+	// But not before the counter can reach capacity+1.
+	f, err = buggy.Unroll(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("buggy fifo at depth 3: %v", r.Status)
+	}
+}
+
+func TestArbiterBMC(t *testing.T) {
+	safe := Arbiter(false)
+	f, err := safe.Unroll(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("safe arbiter: %v", r.Status)
+	}
+	buggy := Arbiter(true)
+	f, err = buggy.Unroll(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusSat {
+		t.Fatalf("buggy arbiter: %v", r.Status)
+	}
+}
+
+func TestSeqValidate(t *testing.T) {
+	sc := Counter(3, 1)
+	sc.Init = sc.Init[:2] // corrupt
+	if err := sc.Validate(); err == nil {
+		t.Fatal("expected init-length error")
+	}
+	if _, err := sc.Unroll(2); err == nil {
+		t.Fatal("expected unroll to fail validation")
+	}
+}
+
+// TestTseitinModelCount checks the Tseitin encoding is a bijection on
+// models: for a circuit with unconstrained output, the CNF over input and
+// gate variables has exactly 2^#inputs models (each input vector extends
+// uniquely). This is the defining property of the transformation.
+func TestTseitinModelCount(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b2 := c.AddInput("b")
+	x := c.XorGate(c.AndGate(a, b2), c.OrGate(a, b2).Invert())
+	c.AddOutput("o", x)
+	bld := cnf.NewBuilder()
+	Tseitin(bld, c, nil)
+	f := bld.Formula()
+	if got := dpll.CountModels(f); got != 4 {
+		t.Fatalf("model count = %d, want 4", got)
+	}
+}
+
+func TestEqualConst(t *testing.T) {
+	c := New()
+	bus := c.AddInputs("b", 3)
+	c.AddOutput("eq5", EqualConst(c, bus, 5))
+	for v := uint64(0); v < 8; v++ {
+		in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+		if c.Eval(in)[0] != (v == 5) {
+			t.Fatalf("EqualConst wrong at %d", v)
+		}
+	}
+}
+
+func TestEvalPanicsOnBadArity(t *testing.T) {
+	c := RippleAdder(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Eval([]bool{true})
+}
+
+func TestOpString(t *testing.T) {
+	ops := []Op{Input, Const0, Buf, Not, And, Or, Nand, Nor, Xor, Xnor, Op(99)}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Fatalf("empty name for op %d", int(op))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package circuit
+
+import "math/rand"
+
+// InjectFault returns a copy of the circuit with one random local defect —
+// a gate whose operation is replaced by a different one, or an input pin
+// that is inverted. Miters of a circuit against a faulted copy are the
+// satisfiable counterpart of the equivalence-checking workloads (the
+// "buggy design" case the Sss-sat/Vliw-sat suites represent). The injected
+// fault is usually observable, but callers that must guarantee
+// inequivalence should verify with simulation (see DiffersOnSample).
+func InjectFault(c *Circuit, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := &Circuit{
+		Gates:   make([]Gate, len(c.Gates)),
+		PIs:     append([]int(nil), c.PIs...),
+		POs:     append([]Signal(nil), c.POs...),
+		PONames: append([]string(nil), c.PONames...),
+	}
+	for i, g := range c.Gates {
+		out.Gates[i] = Gate{Op: g.Op, In: append([]Signal(nil), g.In...), Name: g.Name}
+	}
+	// Candidate gates: everything with fanin.
+	var candidates []int
+	for i, g := range out.Gates {
+		if len(g.In) > 0 {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return out
+	}
+	idx := candidates[rng.Intn(len(candidates))]
+	g := &out.Gates[idx]
+	if rng.Intn(2) == 0 {
+		// Invert a random input pin (stuck-at style defect).
+		p := rng.Intn(len(g.In))
+		g.In[p] = g.In[p].Invert()
+		return out
+	}
+	// Swap the gate's function for a different one of the same arity class.
+	switch g.Op {
+	case And:
+		g.Op = Or
+	case Or:
+		g.Op = And
+	case Nand:
+		g.Op = Nor
+	case Nor:
+		g.Op = Nand
+	case Xor:
+		g.Op = Xnor
+	case Xnor:
+		g.Op = Xor
+	case Buf:
+		g.Op = Not
+	case Not:
+		g.Op = Buf
+	}
+	return out
+}
+
+// DiffersOnSample simulates both circuits on n pseudo-random 64-vector
+// batches and reports whether any output ever differs. Used to confirm an
+// injected fault is observable before a "SAT" workload instance is emitted.
+func DiffersOnSample(a, b *Circuit, n int, seed int64) bool {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, a.NumInputs())
+	for batch := 0; batch < n; batch++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		va := a.Eval64(in)
+		vb := b.Eval64(in)
+		for i := range va {
+			if va[i] != vb[i] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,125 @@
+package circuit
+
+import "fmt"
+
+// KoggeStoneAdder builds an n-bit Kogge-Stone parallel-prefix adder with
+// the RippleAdder interface (a, b, cin -> s0..s(n-1), cout). Prefix adders
+// are the canonical "structurally dissimilar but equivalent" counterpart
+// to ripple adders in equivalence-checking benchmarks.
+func KoggeStoneAdder(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+	cin := c.AddInput("cin")
+
+	// Bit-level generate/propagate.
+	g := make([]Signal, n)
+	p := make([]Signal, n)
+	for i := 0; i < n; i++ {
+		g[i] = c.AndGate(a[i], b[i])
+		p[i] = c.XorGate(a[i], b[i])
+	}
+	// Fold the carry-in into position 0's generate: a carry out of bit 0
+	// happens iff g0 or (p0 and cin).
+	gg := make([]Signal, n)
+	pp := make([]Signal, n)
+	copy(gg, g)
+	copy(pp, p)
+	gg[0] = c.OrGate(g[0], c.AndGate(p[0], cin))
+
+	// Kogge-Stone prefix tree: span doubles each level.
+	for span := 1; span < n; span <<= 1 {
+		ng := make([]Signal, n)
+		np := make([]Signal, n)
+		copy(ng, gg)
+		copy(np, pp)
+		for i := span; i < n; i++ {
+			ng[i] = c.OrGate(gg[i], c.AndGate(pp[i], gg[i-span]))
+			np[i] = c.AndGate(pp[i], pp[i-span])
+		}
+		gg, pp = ng, np
+	}
+
+	// carry into bit i is gg[i-1] (prefix generate); bit 0 sees cin.
+	carry := make([]Signal, n+1)
+	carry[0] = cin
+	for i := 1; i <= n; i++ {
+		carry[i] = gg[i-1]
+	}
+	for i := 0; i < n; i++ {
+		c.AddOutput(fmt.Sprintf("s%d", i), c.XorGate(p[i], carry[i]))
+	}
+	c.AddOutput("cout", carry[n])
+	return c
+}
+
+// WallaceMultiplier builds an n×n multiplier whose partial products are
+// reduced with a Wallace tree of carry-save 3:2 compressors and a final
+// ripple adder — structurally very different from ArrayMultiplier,
+// functionally identical. Multiplier miters of dissimilar architectures
+// are among the hardest equivalence-checking instances known.
+func WallaceMultiplier(n int) *Circuit {
+	c := New()
+	a := c.AddInputs("a", n)
+	b := c.AddInputs("b", n)
+
+	// columns[k] = list of partial-product bits of weight k.
+	width := 2 * n
+	columns := make([][]Signal, width)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			columns[i+j] = append(columns[i+j], c.AndGate(a[j], b[i]))
+		}
+	}
+	// Wallace reduction: repeatedly compress columns with full/half adders
+	// until every column holds at most two bits.
+	for {
+		done := true
+		for k := 0; k < width; k++ {
+			if len(columns[k]) > 2 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		next := make([][]Signal, width)
+		for k := 0; k < width; k++ {
+			col := columns[k]
+			for len(col) >= 3 {
+				s, co := fullAdder(c, col[0], col[1], col[2])
+				col = col[3:]
+				next[k] = append(next[k], s)
+				if k+1 < width {
+					next[k+1] = append(next[k+1], co)
+				}
+			}
+			if len(col) == 2 {
+				s, co := halfAdder(c, col[0], col[1])
+				next[k] = append(next[k], s)
+				if k+1 < width {
+					next[k+1] = append(next[k+1], co)
+				}
+			} else if len(col) == 1 {
+				next[k] = append(next[k], col[0])
+			}
+		}
+		columns = next
+	}
+	// Final carry-propagate addition over the two remaining rows.
+	carry := c.False()
+	for k := 0; k < width; k++ {
+		var s Signal
+		switch len(columns[k]) {
+		case 0:
+			s = carry
+			carry = c.False()
+		case 1:
+			s, carry = halfAdder(c, columns[k][0], carry)
+		default:
+			s, carry = fullAdder(c, columns[k][0], columns[k][1], carry)
+		}
+		c.AddOutput(fmt.Sprintf("p%d", k), s)
+	}
+	return c
+}

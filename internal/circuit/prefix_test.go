@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"testing"
+
+	"berkmin/internal/core"
+)
+
+func TestKoggeStoneAdder(t *testing.T) {
+	testAdder(t, KoggeStoneAdder, "koggestone")
+}
+
+func TestKoggeStoneNonPowerOfTwo(t *testing.T) {
+	// Prefix trees must handle widths that are not powers of two.
+	n := 5
+	c := KoggeStoneAdder(n)
+	for a := uint64(0); a < 32; a += 3 {
+		for b := uint64(0); b < 32; b += 5 {
+			in := make([]bool, 2*n+1)
+			for i := 0; i < n; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[n+i] = b&(1<<uint(i)) != 0
+			}
+			if got, want := adderValue(c.Eval(in)), a+b; got != want {
+				t.Fatalf("%d+%d = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestWallaceMultiplier(t *testing.T) {
+	n := 3
+	c := WallaceMultiplier(n)
+	if c.NumOutputs() != 2*n {
+		t.Fatalf("outputs = %d", c.NumOutputs())
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a&(1<<uint(i)) != 0
+				in[n+i] = b&(1<<uint(i)) != 0
+			}
+			if got := adderValue(c.Eval(in)); got != a*b {
+				t.Fatalf("%d*%d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestWallaceVsArrayMiter(t *testing.T) {
+	// The classic hard equivalence pair: array vs Wallace multiplier.
+	m1 := ArrayMultiplier(3)
+	m2 := WallaceMultiplier(3)
+	f, err := Miter(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("multiplier architectures differ: %v", r.Status)
+	}
+}
+
+func TestKoggeStoneVsRippleMiter(t *testing.T) {
+	f, err := Miter(RippleAdder(5), KoggeStoneAdder(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(f)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("adder architectures differ: %v", r.Status)
+	}
+}
+
+func TestAllAdderArchitecturesAgree(t *testing.T) {
+	n := 4
+	builders := []func(int) *Circuit{
+		RippleAdder,
+		CarryLookaheadAdder,
+		func(n int) *Circuit { return CarrySelectAdder(n, 2) },
+		KoggeStoneAdder,
+	}
+	circuits := make([]*Circuit, len(builders))
+	for i, b := range builders {
+		circuits[i] = b(n)
+	}
+	for a := uint64(0); a < 16; a += 2 {
+		for b := uint64(0); b < 16; b += 3 {
+			for cin := uint64(0); cin < 2; cin++ {
+				in := make([]bool, 2*n+1)
+				for i := 0; i < n; i++ {
+					in[i] = a&(1<<uint(i)) != 0
+					in[n+i] = b&(1<<uint(i)) != 0
+				}
+				in[2*n] = cin == 1
+				want := circuits[0].Eval(in)
+				for ci := 1; ci < len(circuits); ci++ {
+					got := circuits[ci].Eval(in)
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("architecture %d disagrees at %d+%d+%d bit %d", ci, a, b, cin, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}

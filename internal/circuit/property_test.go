@@ -1,0 +1,150 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+)
+
+// TestRewriteCompositionPreservesFunction: rewriting a rewrite is still
+// the same function (rewrites compose).
+func TestRewriteCompositionPreservesFunction(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := Random(RandomOptions{Inputs: 7, Gates: 60, Outputs: 4, MaxFanin: 3, Seed: seed})
+		r1 := Rewrite(c, seed+1000)
+		r2 := Rewrite(r1, seed+2000)
+		if DiffersOnSample(c, r2, 48, seed) {
+			t.Fatalf("seed %d: double rewrite changed the function", seed)
+		}
+	}
+}
+
+// TestInjectFaultPreservesInterface: fault injection never changes the
+// circuit interface and the result still simulates.
+func TestInjectFaultPreservesInterface(t *testing.T) {
+	c := Random(RandomOptions{Inputs: 5, Gates: 30, Outputs: 3, MaxFanin: 3, Seed: 5})
+	for seed := int64(0); seed < 20; seed++ {
+		f := InjectFault(c, seed)
+		if f.NumInputs() != c.NumInputs() || f.NumOutputs() != c.NumOutputs() {
+			t.Fatalf("seed %d: interface changed", seed)
+		}
+		in := make([]uint64, c.NumInputs())
+		f.Eval64(in) // must not panic
+	}
+}
+
+// TestInjectFaultUsuallyObservable: over many seeds, most faults are
+// observable on random samples (a sanity check that the generator's
+// retry loops terminate quickly).
+func TestInjectFaultUsuallyObservable(t *testing.T) {
+	c := RippleAdder(5)
+	observable := 0
+	const trials = 30
+	for seed := int64(0); seed < trials; seed++ {
+		if DiffersOnSample(c, InjectFault(c, seed), 64, seed) {
+			observable++
+		}
+	}
+	if observable < trials/2 {
+		t.Fatalf("only %d/%d faults observable", observable, trials)
+	}
+}
+
+// TestTseitinSharedPins: two encodings of the same circuit sharing input
+// pins are forced equal on every output by the CNF alone.
+func TestTseitinSharedPins(t *testing.T) {
+	c := Random(RandomOptions{Inputs: 4, Gates: 15, Outputs: 2, MaxFanin: 3, Seed: 77})
+	b := cnf.NewBuilder()
+	encA := Tseitin(b, c, nil)
+	pins := make(map[int]cnf.Var)
+	for i, g := range c.PIs {
+		pins[g] = encA.GateVar[c.PIs[i]]
+	}
+	encB := Tseitin(b, c, pins)
+	// Assert some output differs; must be UNSAT.
+	la, lb := encA.OutputLit(c, 0), encB.OutputLit(c, 0)
+	d := cnf.PosLit(b.Fresh())
+	b.Clause(d.Not(), la, lb)
+	b.Clause(d.Not(), la.Not(), lb.Not())
+	b.Clause(d, la.Not(), lb)
+	b.Clause(d, la, lb.Not())
+	b.Unit(d)
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(b.Formula())
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("shared-pin copies can differ: %v", r.Status)
+	}
+}
+
+// TestSignalQuick: Signal packing round-trips (property).
+func TestSignalQuick(t *testing.T) {
+	f := func(gate uint16, inv bool) bool {
+		s := MkSignal(int(gate))
+		if inv {
+			s = s.Invert()
+		}
+		return s.Gate() == int(gate) && s.Inverted() == inv && s.Invert().Invert() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEval64RandomAgainstEvalQuick drives the bit-parallel evaluator
+// against the scalar one on random circuits and vectors (property-style
+// with explicit seeds).
+func TestEval64RandomAgainstEvalQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		c := Random(RandomOptions{
+			Inputs:   2 + rng.Intn(6),
+			Gates:    5 + rng.Intn(40),
+			Outputs:  1 + rng.Intn(4),
+			MaxFanin: 2 + rng.Intn(3),
+			Seed:     int64(trial * 31),
+		})
+		in64 := make([]uint64, c.NumInputs())
+		for i := range in64 {
+			in64[i] = rng.Uint64()
+		}
+		out64 := c.Eval64(in64)
+		for _, bit := range []int{0, 13, 37, 63} {
+			in := make([]bool, len(in64))
+			for i := range in {
+				in[i] = in64[i]&(1<<uint(bit)) != 0
+			}
+			out := c.Eval(in)
+			for j := range out {
+				if out[j] != (out64[j]&(1<<uint(bit)) != 0) {
+					t.Fatalf("trial %d bit %d out %d mismatch", trial, bit, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSeqCircuitsValidate: every builder produces a well-formed machine.
+func TestSeqCircuitsValidate(t *testing.T) {
+	machines := []*SeqCircuit{
+		Counter(4, 7),
+		FIFO(2, false),
+		FIFO(2, true),
+		Arbiter(false),
+		Arbiter(true),
+	}
+	for _, m := range machines {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		f, err := m.Unroll(3)
+		if err != nil {
+			t.Fatalf("%s unroll: %v", m.Name, err)
+		}
+		if f.NumClauses() == 0 {
+			t.Fatalf("%s: empty unrolling", m.Name)
+		}
+	}
+}

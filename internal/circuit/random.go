@@ -1,0 +1,67 @@
+package circuit
+
+import "math/rand"
+
+// RandomOptions parameterizes Random.
+type RandomOptions struct {
+	Inputs   int // primary inputs
+	Gates    int // internal gates to create
+	Outputs  int // primary outputs
+	MaxFanin int // maximum gate fanin (>= 2)
+	Seed     int64
+}
+
+// Random generates a pseudo-random combinational DAG: every gate draws a
+// random operation and random fanins from earlier nodes (biased toward
+// recent nodes so depth actually grows). The paper's Miters class was built
+// from artificial circuits exactly because "their complexity was easy to
+// control" (§4) — these are the knobs.
+func Random(opt RandomOptions) *Circuit {
+	if opt.MaxFanin < 2 {
+		opt.MaxFanin = 3
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	c := New()
+	c.AddInputs("x", opt.Inputs)
+	ops := []Op{And, Or, Nand, Nor, Xor, Xnor}
+	pick := func() Signal {
+		// Bias toward recent gates: 50% from the last quarter.
+		n := len(c.Gates)
+		lo := 1 // skip const gate
+		if n > 4 && rng.Intn(2) == 0 {
+			lo = n - n/4
+		}
+		idx := lo + rng.Intn(n-lo)
+		s := MkSignal(idx)
+		if rng.Intn(2) == 0 {
+			s = s.Invert()
+		}
+		return s
+	}
+	for i := 0; i < opt.Gates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		fanin := 2
+		if opt.MaxFanin > 2 {
+			fanin = 2 + rng.Intn(opt.MaxFanin-1)
+		}
+		in := make([]Signal, fanin)
+		for j := range in {
+			in[j] = pick()
+		}
+		c.addGate(op, in...)
+	}
+	// Outputs tap the last gates (they dominate the logic cone).
+	n := len(c.Gates)
+	for i := 0; i < opt.Outputs; i++ {
+		idx := n - 1 - i
+		if idx < 1 {
+			idx = 1 + rng.Intn(n-1)
+		}
+		s := MkSignal(idx)
+		if rng.Intn(2) == 0 {
+			s = s.Invert()
+		}
+		c.AddOutput("", s)
+	}
+	return c
+}

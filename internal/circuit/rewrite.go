@@ -1,0 +1,146 @@
+package circuit
+
+import "math/rand"
+
+// Rewrite produces a functionally equivalent but structurally different
+// copy of the circuit by applying random local equivalence-preserving
+// transformations:
+//
+//   - n-ary AND/OR gates are decomposed into randomly shaped binary trees,
+//   - AND/OR gates are De Morgan-dualized (AND(a,b) = ¬OR(¬a,¬b)),
+//   - XOR gates are expanded into AND/OR form,
+//   - commutative fanins are permuted,
+//   - buffers are inserted on random nets.
+//
+// The paper built its Miters class from exactly this kind of artificial
+// restructuring ("artificial circuits were used because their complexity
+// was easy to control", §4): a miter of the original and the rewrite is
+// unsatisfiable, and its hardness scales with circuit size and rewrite
+// aggressiveness.
+func Rewrite(c *Circuit, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	out := New()
+	// map from old gate index to new signal
+	m := make([]Signal, len(c.Gates))
+	m[0] = out.False()
+	for i := 1; i < len(c.Gates); i++ {
+		g := c.Gates[i]
+		switch g.Op {
+		case Input:
+			m[i] = out.AddInput(g.Name)
+		case Buf:
+			m[i] = mapSig(m, g.In[0])
+		case Not:
+			m[i] = mapSig(m, g.In[0]).Invert()
+		case And, Nand:
+			s := rewriteAnd(out, rng, mapSigs(m, g.In, rng))
+			if g.Op == Nand {
+				s = s.Invert()
+			}
+			m[i] = s
+		case Or, Nor:
+			s := rewriteOr(out, rng, mapSigs(m, g.In, rng))
+			if g.Op == Nor {
+				s = s.Invert()
+			}
+			m[i] = s
+		case Xor, Xnor:
+			s := rewriteXor(out, rng, mapSigs(m, g.In, rng))
+			if g.Op == Xnor {
+				s = s.Invert()
+			}
+			m[i] = s
+		default:
+			m[i] = mapSig(m, g.In[0])
+		}
+		// Occasionally materialize a buffer to perturb structure.
+		if rng.Intn(16) == 0 {
+			m[i] = out.BufGate(m[i])
+		}
+	}
+	for j, s := range c.POs {
+		name := ""
+		if j < len(c.PONames) {
+			name = c.PONames[j]
+		}
+		out.AddOutput(name, mapSig(m, s))
+	}
+	return out
+}
+
+func mapSig(m []Signal, s Signal) Signal {
+	t := m[s.Gate()]
+	if s.Inverted() {
+		return t.Invert()
+	}
+	return t
+}
+
+// mapSigs maps fanins and shuffles them (commutativity).
+func mapSigs(m []Signal, in []Signal, rng *rand.Rand) []Signal {
+	out := make([]Signal, len(in))
+	for i, s := range in {
+		out[i] = mapSig(m, s)
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// rewriteAnd builds AND(in...) as a random binary tree, sometimes through
+// De Morgan's law.
+func rewriteAnd(c *Circuit, rng *rand.Rand, in []Signal) Signal {
+	switch len(in) {
+	case 0:
+		return c.True()
+	case 1:
+		return in[0]
+	}
+	// Split at a random point and recurse: random tree shape.
+	k := 1 + rng.Intn(len(in)-1)
+	l := rewriteAnd(c, rng, in[:k])
+	r := rewriteAnd(c, rng, in[k:])
+	if rng.Intn(3) == 0 { // De Morgan: a∧b = ¬(¬a ∨ ¬b)
+		return c.OrGate(l.Invert(), r.Invert()).Invert()
+	}
+	if rng.Intn(4) == 0 { // via NAND
+		return c.NandGate(l, r).Invert()
+	}
+	return c.AndGate(l, r)
+}
+
+func rewriteOr(c *Circuit, rng *rand.Rand, in []Signal) Signal {
+	switch len(in) {
+	case 0:
+		return c.False()
+	case 1:
+		return in[0]
+	}
+	k := 1 + rng.Intn(len(in)-1)
+	l := rewriteOr(c, rng, in[:k])
+	r := rewriteOr(c, rng, in[k:])
+	if rng.Intn(3) == 0 { // De Morgan: a∨b = ¬(¬a ∧ ¬b)
+		return c.AndGate(l.Invert(), r.Invert()).Invert()
+	}
+	if rng.Intn(4) == 0 {
+		return c.NorGate(l, r).Invert()
+	}
+	return c.OrGate(l, r)
+}
+
+// rewriteXor expands parity into a random tree, sometimes in AND/OR form:
+// a ⊕ b = (a ∧ ¬b) ∨ (¬a ∧ b).
+func rewriteXor(c *Circuit, rng *rand.Rand, in []Signal) Signal {
+	switch len(in) {
+	case 0:
+		return c.False()
+	case 1:
+		return in[0]
+	}
+	k := 1 + rng.Intn(len(in)-1)
+	l := rewriteXor(c, rng, in[:k])
+	r := rewriteXor(c, rng, in[k:])
+	if rng.Intn(2) == 0 {
+		return c.OrGate(c.AndGate(l, r.Invert()), c.AndGate(l.Invert(), r))
+	}
+	return c.XorGate(l, r)
+}

@@ -1,0 +1,17 @@
+package core
+
+// age decays the dynamic activity counters. Chaff periodically divides its
+// literal counters by a constant so the search focuses on the youngest
+// clauses (§3); BerkMin inherits the idea for its variable activities. The
+// lit_activity counters of §7 are deliberately *not* aged: they count the
+// conflict clauses ever deduced, which is what database symmetrization
+// needs.
+func (s *Solver) age() {
+	d := s.opt.AgingDivisor
+	for v := range s.varAct {
+		s.varAct[v] /= d
+	}
+	for l := range s.chaffAct {
+		s.chaffAct[l] /= d
+	}
+}

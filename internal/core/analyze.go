@@ -1,0 +1,178 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// analyze performs first-UIP conflict analysis (§2): it walks the
+// implication graph backwards from the conflicting clause, resolving on
+// current-level variables until a single current-level literal (the first
+// unique implication point) remains. It returns the learnt clause — with the
+// asserting literal in slot 0 and a highest-level other literal in slot 1 —
+// and the backtrack level.
+//
+// Every antecedent expanded along the way is a "clause responsible for the
+// conflict" (§2): BerkMin's sensitivity rule (§4) bumps var_activity once
+// per literal occurrence in each of them, and clause_activity(C) counts the
+// conflicts C has been responsible for (§8).
+func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+	if s.debugConflict != nil {
+		s.debugConflict(confl)
+	}
+	learnt := s.analyzeBuf[:0]
+	learnt = append(learnt, cnf.LitUndef) // slot 0: asserting literal
+
+	level := int32(s.decisionLevel())
+	counter := 0
+	p := cnf.LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpResponsible(confl)
+		start := 0
+		if p != cnf.LitUndef {
+			start = 1 // skip the propagated literal itself
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.vlevel[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			if s.vlevel[v] == level {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select the next current-level literal to expand, scanning the
+		// trail backwards.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	if s.opt.MinimizeLearnt {
+		learnt = s.minimize(learnt)
+	}
+
+	// Chaff-style activity updates operate on the final learnt clause only.
+	if s.opt.Sensitivity == SensitivityConflictClause {
+		for _, q := range learnt {
+			s.bumpVar(q.Var())
+		}
+	}
+	// Chaff VSIDS literal counters always follow the learnt clause.
+	for _, q := range learnt {
+		s.chaffAct[q]++
+	}
+
+	// Find the backtrack level: the highest level among the non-asserting
+	// literals; move such a literal to slot 1 so it can be watched.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.vlevel[learnt[i].Var()] > s.vlevel[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.vlevel[learnt[1].Var()])
+	}
+
+	// Clear the seen marks of the literals kept in the learnt clause.
+	for _, q := range learnt[1:] {
+		s.seen[q.Var()] = false
+	}
+	s.analyzeBuf = learnt // reuse the buffer next time
+
+	out := make([]cnf.Lit, len(learnt))
+	copy(out, learnt)
+	return out, btLevel
+}
+
+// bumpResponsible applies BerkMin's sensitivity rule (§4) and clause
+// activity accounting (§8) to one clause responsible for the conflict.
+func (s *Solver) bumpResponsible(c *clause) {
+	c.act++
+	if s.opt.Sensitivity == SensitivityResponsible {
+		for _, q := range c.lits {
+			s.bumpVar(q.Var())
+		}
+	}
+}
+
+// bumpVar increments a variable's activity and keeps the strategy-3 heap
+// (when enabled) consistent.
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.varAct[v]++
+	if s.opt.OptimizedGlobalPick {
+		s.order.bumped(v)
+	}
+}
+
+// minimize removes learnt-clause literals whose negation is implied by the
+// rest of the clause through their antecedents (local self-subsumption, a
+// post-BerkMin technique kept behind Options.MinimizeLearnt). On entry the
+// seen flags of learnt[1:] are still set from the analysis loop; on exit all
+// flags for removed literals are cleared (the caller clears the kept ones).
+func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
+	orig := append([]cnf.Lit(nil), learnt[1:]...)
+	out := learnt[:1]
+	for _, q := range orig {
+		r := s.reason[q.Var()]
+		if r == nil {
+			out = append(out, q)
+			continue
+		}
+		redundant := true
+		for _, x := range r.lits[1:] {
+			v := x.Var()
+			if !s.seen[v] && s.vlevel[v] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, q)
+		}
+	}
+	for _, q := range orig {
+		s.seen[q.Var()] = false
+	}
+	return out
+}
+
+// record integrates a freshly learnt clause: it updates lit_activity (§7),
+// pushes the clause on the conflict-clause stack, watches it and asserts
+// its first literal. Unit learnt clauses become level-0 assignments — the
+// paper's "retained assignments" that survive restarts and database
+// cleanings (§8).
+func (s *Solver) record(learnt []cnf.Lit) {
+	if s.debugLearnt != nil {
+		s.debugLearnt(learnt)
+	}
+	s.stats.LearntTotal++
+	for _, l := range learnt {
+		s.litAct[l]++
+	}
+	s.proofAdd(learnt)
+	if len(learnt) == 1 {
+		// Asserted at level 0; nothing is stored, the assignment is kept.
+		s.enqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: learnt, learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.attach(c)
+	s.notePeak()
+	s.enqueue(learnt[0], c)
+}

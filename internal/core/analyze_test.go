@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// TestPaperSection4Example reconstructs the paper's §4 resolution example:
+// reverse BCP resolving (¬a∨x∨¬c), (a∨x∨¬z) and (c∨¬y∨¬z) deduces the
+// conflict clause x∨¬y∨¬z, and BerkMin bumps var_activity once per literal
+// occurrence in each responsible clause: x,a,c,z by 2 and y by 1.
+func TestPaperSection4Example(t *testing.T) {
+	// Variables: a=1, x=2, c=3, z=4, y=5.
+	const a, x, c, z, y = 1, 2, 3, 4, 5
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(-a, x, -c)) // clause 1
+	s.AddClause(cnf.NewClause(a, x, -z))  // clause 2
+	s.AddClause(cnf.NewClause(c, -y, -z)) // clause 3
+
+	// Build the implication state: x=0 @1, y=1 @2, z=1 @3. BCP then forces
+	// a=1 (clause 2) and c=0 (clause 1), and clause 3 becomes the conflict.
+	s.newDecisionLevel()
+	s.enqueue(cnf.NegLit(x), nil)
+	if s.propagate() != nil {
+		t.Fatal("unexpected conflict after x=0")
+	}
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(y), nil)
+	if s.propagate() != nil {
+		t.Fatal("unexpected conflict after y=1")
+	}
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(z), nil)
+	confl := s.propagate()
+	if confl == nil {
+		t.Fatal("expected a conflict after z=1")
+	}
+
+	learnt, btLevel := s.analyze(confl)
+	// The paper's deduced conflict clause is x ∨ ¬y ∨ ¬z with ¬z asserting.
+	if learnt[0] != cnf.NegLit(z) {
+		t.Fatalf("asserting literal = %v, want ¬z", learnt[0])
+	}
+	want := map[cnf.Lit]bool{cnf.NegLit(z): true, cnf.NegLit(y): true, cnf.PosLit(x): true}
+	if len(learnt) != 3 {
+		t.Fatalf("learnt = %v, want x ∨ ¬y ∨ ¬z", learnt)
+	}
+	for _, l := range learnt {
+		if !want[l] {
+			t.Fatalf("unexpected literal %v in learnt %v", l, learnt)
+		}
+	}
+	if btLevel != 2 {
+		t.Fatalf("backtrack level = %d, want 2", btLevel)
+	}
+
+	// §4's activity accounting over the responsible clauses.
+	wantAct := map[cnf.Var]int64{a: 2, x: 2, c: 2, z: 2, y: 1}
+	for v, wa := range wantAct {
+		if got := s.varAct[v]; got != wa {
+			t.Errorf("var_activity(%d) = %d, want %d", v, got, wa)
+		}
+	}
+
+	// Each responsible clause's activity counter incremented once (§8).
+	for i, cl := range s.clauses {
+		if cl.act != 1 {
+			t.Errorf("clause %d activity = %d, want 1", i, cl.act)
+		}
+	}
+}
+
+// TestLessSensitivityBumpsConflictClauseOnly checks the Table 1 ablation:
+// only x, y, z (the learnt clause's variables) are bumped, by 1.
+func TestLessSensitivityBumpsConflictClauseOnly(t *testing.T) {
+	const a, x, c, z, y = 1, 2, 3, 4, 5
+	s := New(LessSensitivityOptions())
+	s.AddClause(cnf.NewClause(-a, x, -c))
+	s.AddClause(cnf.NewClause(a, x, -z))
+	s.AddClause(cnf.NewClause(c, -y, -z))
+	s.newDecisionLevel()
+	s.enqueue(cnf.NegLit(x), nil)
+	s.propagate()
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(y), nil)
+	s.propagate()
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(z), nil)
+	confl := s.propagate()
+	if confl == nil {
+		t.Fatal("expected conflict")
+	}
+	s.analyze(confl)
+	wantAct := map[cnf.Var]int64{a: 0, x: 1, c: 0, z: 1, y: 1}
+	for v, wa := range wantAct {
+		if got := s.varAct[v]; got != wa {
+			t.Errorf("var_activity(%d) = %d, want %d", v, got, wa)
+		}
+	}
+}
+
+// TestRecordUpdatesLitActivity checks §7's lit_activity counters: one
+// increment per literal of each recorded conflict clause, never decayed.
+func TestRecordUpdatesLitActivity(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(4)
+	s.record([]cnf.Lit{cnf.PosLit(1), cnf.NegLit(2)})
+	s.record([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(3)})
+	if s.litAct[cnf.PosLit(1)] != 2 {
+		t.Fatalf("lit_activity(1) = %d", s.litAct[cnf.PosLit(1)])
+	}
+	if s.litAct[cnf.NegLit(2)] != 1 || s.litAct[cnf.PosLit(3)] != 1 {
+		t.Fatal("lit_activity wrong")
+	}
+	if s.litAct[cnf.NegLit(1)] != 0 {
+		t.Fatal("complement literal must not be bumped")
+	}
+	// Aging must not touch lit_activity.
+	s.age()
+	if s.litAct[cnf.PosLit(1)] != 2 {
+		t.Fatal("lit_activity must never be aged")
+	}
+}
+
+// TestAgingDecaysVarAndChaffCounters checks the decay divisor semantics.
+func TestAgingDecaysVarAndChaffCounters(t *testing.T) {
+	o := DefaultOptions()
+	o.AgingDivisor = 4
+	s := New(o)
+	s.ensureVars(2)
+	s.varAct[1] = 17
+	s.chaffAct[cnf.PosLit(2)] = 9
+	s.age()
+	if s.varAct[1] != 4 {
+		t.Fatalf("varAct = %d, want 17/4 = 4", s.varAct[1])
+	}
+	if s.chaffAct[cnf.PosLit(2)] != 2 {
+		t.Fatalf("chaffAct = %d, want 9/4 = 2", s.chaffAct[cnf.PosLit(2)])
+	}
+}
+
+// TestUnitLearntRetained checks §8's "retained assignments": unit conflict
+// clauses become permanent level-0 assignments and are not stored as
+// clauses.
+func TestUnitLearntRetained(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(3)
+	before := len(s.learnts)
+	s.record([]cnf.Lit{cnf.PosLit(3)})
+	if len(s.learnts) != before {
+		t.Fatal("unit learnt must not be pushed on the stack")
+	}
+	if s.value(cnf.PosLit(3)) != lTrue || s.vlevel[3] != 0 {
+		t.Fatal("unit learnt must be asserted at level 0")
+	}
+	if s.stats.LearntTotal != 1 {
+		t.Fatal("unit learnts count toward LearntTotal (Table 9)")
+	}
+}
+
+// TestMinimizeRemovesDominatedLiteral builds a case where a learnt literal
+// is implied by the others through its reason and must be dropped when
+// minimization is on.
+func TestMinimizeRemovesDominatedLiteral(t *testing.T) {
+	// x1 decision; x2 <- (¬x1 ∨ x2); conflict clause (¬x1 ∨ ¬x2).
+	// 1-UIP learnt without minimization: (¬x2 ∨ ¬x1)? The UIP here is x2;
+	// learnt = {¬x2, ¬x1}; ¬x1 is redundant given reason(x2) = (¬x1∨x2).
+	o := DefaultOptions()
+	o.MinimizeLearnt = true
+	s := New(o)
+	s.AddClause(cnf.NewClause(-1, 2))
+	s.AddClause(cnf.NewClause(-2, 3))
+	s.AddClause(cnf.NewClause(-3, -2))
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), nil)
+	confl := s.propagate()
+	if confl == nil {
+		t.Fatal("expected conflict")
+	}
+	learnt, _ := s.analyze(confl)
+	// Without minimization the learnt clause would mention x2 (or x1);
+	// with it, everything redundant collapses — the learnt must be unit.
+	if len(learnt) != 1 {
+		t.Fatalf("learnt = %v, want a unit clause after minimization", learnt)
+	}
+}
+
+// TestSeenScratchIsCleanAfterAnalyze guards against seen[] leakage across
+// analyses, which would silently drop literals from later learnt clauses.
+func TestSeenScratchIsCleanAfterAnalyze(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(-1, 2))
+	s.AddClause(cnf.NewClause(-1, -2))
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), nil)
+	confl := s.propagate()
+	if confl == nil {
+		t.Fatal("expected conflict")
+	}
+	s.analyze(confl)
+	for v := 1; v <= s.nVars; v++ {
+		if s.seen[v] {
+			t.Fatalf("seen[%d] leaked", v)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// Incremental solving under assumptions — an extension beyond the paper
+// (introduced by MiniSat-era solvers, which BerkMin's heuristics fed into).
+// SolveAssuming treats the given literals as temporary decisions at the
+// bottom of the search tree; the solver state survives the call, so
+// clauses can be added afterwards and Solve called again, with everything
+// learnt so far retained.
+
+// SolveAssuming runs the search with the given assumption literals forced
+// first. If the formula is unsatisfiable only because of the assumptions,
+// the result is StatusUnsat with FailedAssumptions holding an
+// (inclusion-minimal-ish) subset of assumptions responsible; a globally
+// unsatisfiable formula reports an empty FailedAssumptions.
+func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Result {
+	return s.solve(assumptions)
+}
+
+// analyzeFinal computes the subset of assumptions that force ¬p, walking
+// antecedents from the falsified assumption p backwards to assumption
+// decisions (MiniSat's conflict-clause-in-terms-of-assumptions analysis).
+func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
+	out := []cnf.Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		if r := s.reason[v]; r == nil {
+			// An assumption (or decision standing in for one).
+			out = append(out, s.trail[i])
+		} else {
+			for _, q := range r.lits[1:] {
+				if s.vlevel[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+	}
+	s.seen[p.Var()] = false
+	return out
+}

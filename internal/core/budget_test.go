@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"berkmin/internal/cnf"
+)
+
+// TestResumeAfterBudget: a run cut off by a conflict budget can be
+// resumed — the solver keeps its clauses and finishes on the next call
+// with a bigger budget (incrementality after StatusUnknown).
+func TestResumeAfterBudget(t *testing.T) {
+	o := DefaultOptions()
+	o.MaxConflicts = 20
+	s := New(o)
+	s.AddFormula(pigeonhole(7))
+	r := s.Solve()
+	if r.Status != StatusUnknown {
+		t.Fatalf("first call: %v", r.Status)
+	}
+	// Raise the budget through the options of a fresh call: the engine
+	// checks cumulative conflicts, so lift the cap entirely.
+	s.opt.MaxConflicts = 0
+	r = s.Solve()
+	if r.Status != StatusUnsat {
+		t.Fatalf("resumed call: %v", r.Status)
+	}
+}
+
+func TestTimeBudget(t *testing.T) {
+	o := DefaultOptions()
+	o.MaxTime = time.Nanosecond // expires immediately
+	s := New(o)
+	s.AddFormula(pigeonhole(9))
+	r := s.Solve()
+	if r.Status != StatusUnknown {
+		t.Fatalf("status = %v", r.Status)
+	}
+}
+
+func TestAssumptionsWithBudget(t *testing.T) {
+	o := DefaultOptions()
+	o.MaxConflicts = 5
+	s := New(o)
+	s.AddFormula(pigeonhole(8))
+	r := s.SolveAssuming([]cnf.Lit{cnf.PosLit(1)})
+	if r.Status != StatusUnknown {
+		t.Fatalf("status = %v", r.Status)
+	}
+	// Solver still reusable.
+	s.opt.MaxConflicts = 0
+	if r := s.Solve(); r.Status != StatusUnsat {
+		t.Fatalf("resume: %v", r.Status)
+	}
+}
+
+// TestManySeedsPigeonhole: determinism and correctness across seeds on a
+// canonical instance for every preset.
+func TestManySeedsPigeonhole(t *testing.T) {
+	php := pigeonhole(6)
+	presets := []func() Options{
+		DefaultOptions, ChaffOptions, LimmatOptions,
+		LessSensitivityOptions, LessMobilityOptions, LimitedKeepingOptions,
+	}
+	for _, preset := range presets {
+		for seed := uint64(1); seed <= 4; seed++ {
+			o := preset()
+			o.Seed = seed
+			s := New(o)
+			s.AddFormula(php)
+			if r := s.Solve(); r.Status != StatusUnsat {
+				t.Fatalf("seed %d: %v", seed, r.Status)
+			}
+		}
+	}
+}
+
+// TestStatsMonotone: cumulative statistics never decrease across
+// incremental calls.
+func TestStatsMonotone(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddFormula(pigeonhole(5))
+	r1 := s.Solve()
+	s.AddClause(cnf.NewClause(1, 2)) // ignored: already unsat, but harmless
+	r2 := s.Solve()
+	if r2.Stats.Conflicts < r1.Stats.Conflicts || r2.Stats.Decisions < r1.Stats.Decisions {
+		t.Fatal("stats went backwards")
+	}
+}

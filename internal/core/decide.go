@@ -1,0 +1,289 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// decide picks the next branching literal, or LitUndef when every variable
+// is assigned (a model has been found). It implements §5 (mobility: branch
+// on the current top clause), §7 (branch selection / database
+// symmetrization and the nb_two cost function) and the paper's ablations.
+func (s *Solver) decide() cnf.Lit {
+	switch s.opt.Decision {
+	case DecideChaffLiteral:
+		return s.decideChaff()
+	case DecideGlobalMostActive:
+		return s.decideGlobalMostActive()
+	default:
+		return s.decideBerkMin()
+	}
+}
+
+// decideBerkMin: if some conflict clause is unsatisfied, branch on the most
+// active free variable of the current top clause (§5); otherwise branch on
+// the most active free variable of the whole formula with nb_two polarity
+// (§7).
+func (s *Solver) decideBerkMin() cnf.Lit {
+	if c, r := s.currentTopClause(); c != nil {
+		s.stats.TopClauseDecisions++
+		s.stats.Skin.record(r)
+		v := s.mostActiveFreeInClause(c)
+		return s.topClausePolarity(v, c)
+	}
+	v := s.mostActiveFreeVar()
+	if v == 0 {
+		return cnf.LitUndef
+	}
+	s.stats.GlobalDecisions++
+	return s.nbTwoPolarity(v)
+}
+
+// decideGlobalMostActive is the Less_mobility ablation (Table 2): the
+// variable choice ignores the stack, but the polarity logic is unchanged so
+// the ablation isolates variable selection, as in the paper.
+func (s *Solver) decideGlobalMostActive() cnf.Lit {
+	v := s.mostActiveFreeVar()
+	if v == 0 {
+		return cnf.LitUndef
+	}
+	if c, r := s.currentTopClause(); c != nil {
+		s.stats.TopClauseDecisions++
+		s.stats.Skin.record(r)
+		if c.Has(cnf.PosLit(v)) || c.Has(cnf.NegLit(v)) {
+			return s.topClausePolarity(v, c)
+		}
+		return s.litActivityPolarity(v)
+	}
+	s.stats.GlobalDecisions++
+	return s.nbTwoPolarity(v)
+}
+
+// decideChaff is Chaff's VSIDS: the free literal with the largest aged
+// conflict-occurrence counter; the literal itself fixes the polarity.
+func (s *Solver) decideChaff() cnf.Lit {
+	best := cnf.LitUndef
+	bestAct := int64(-1)
+	for v := cnf.Var(1); int(v) <= s.nVars; v++ {
+		if s.assigns[v] != lUndef {
+			continue
+		}
+		for _, l := range [2]cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
+			if a := s.chaffAct[l]; a > bestAct {
+				best, bestAct = l, a
+			}
+		}
+	}
+	if best != cnf.LitUndef {
+		s.stats.GlobalDecisions++
+	}
+	return best
+}
+
+// currentTopClause returns the unsatisfied conflict clause closest to the
+// top of the stack and its distance r from the top (§5, §6), or nil if every
+// conflict clause is satisfied.
+func (s *Solver) currentTopClause() (*clause, int) {
+	for i := len(s.learnts) - 1; i >= 0; i-- {
+		c := s.learnts[i]
+		if !s.satisfied(c) {
+			return c, len(s.learnts) - 1 - i
+		}
+	}
+	return nil, 0
+}
+
+// mostActiveFreeInClause returns the free variable of c with the largest
+// var_activity. After BCP an unsatisfied clause always has a free literal.
+func (s *Solver) mostActiveFreeInClause(c *clause) cnf.Var {
+	var best cnf.Var
+	bestAct := int64(-1)
+	for _, l := range c.lits {
+		v := l.Var()
+		if s.assigns[v] != lUndef {
+			continue
+		}
+		if a := s.varAct[v]; a > bestAct || (a == bestAct && v < best) {
+			best, bestAct = v, a
+		}
+	}
+	return best
+}
+
+// mostActiveFreeVar returns the free variable with the largest var_activity
+// over the whole formula. The paper's main text uses a naive scan; BerkMin561
+// ("strategy 3", Remark 1) optimizes this — enabled by
+// Options.OptimizedGlobalPick via an activity-ordered heap.
+func (s *Solver) mostActiveFreeVar() cnf.Var {
+	if s.opt.OptimizedGlobalPick {
+		return s.heapPopFree()
+	}
+	var best cnf.Var
+	bestAct := int64(-1)
+	for v := cnf.Var(1); int(v) <= s.nVars; v++ {
+		if s.assigns[v] != lUndef {
+			continue
+		}
+		if a := s.varAct[v]; a > bestAct {
+			best, bestAct = v, a
+		}
+	}
+	return best
+}
+
+// savedPhase returns the phase-saving override for v, or LitUndef when
+// disabled or no phase has been recorded yet.
+func (s *Solver) savedPhase(v cnf.Var) cnf.Lit {
+	if !s.opt.PhaseSaving {
+		return cnf.LitUndef
+	}
+	switch s.phase[v] {
+	case lTrue:
+		return cnf.PosLit(v)
+	case lFalse:
+		return cnf.NegLit(v)
+	}
+	return cnf.LitUndef
+}
+
+// topClausePolarity chooses which branch of v to explore first for a
+// decision made on the current top clause c, honoring the configured
+// heuristic (Table 4).
+func (s *Solver) topClausePolarity(v cnf.Var, c *clause) cnf.Lit {
+	if l := s.savedPhase(v); l != cnf.LitUndef {
+		return l
+	}
+	inClause := cnf.PosLit(v)
+	if !c.Has(inClause) {
+		inClause = cnf.NegLit(v)
+	}
+	switch s.opt.Polarity {
+	case PolaritySatTop:
+		return inClause
+	case PolarityUnsatTop:
+		return inClause.Not()
+	case PolarityTake0:
+		return cnf.NegLit(v)
+	case PolarityTake1:
+		return cnf.PosLit(v)
+	case PolarityTakeRand:
+		if s.rng.coin() {
+			return cnf.PosLit(v)
+		}
+		return cnf.NegLit(v)
+	default:
+		return s.litActivityPolarity(v)
+	}
+}
+
+// litActivityPolarity is BerkMin's database-symmetrization rule (§7):
+// explore first the branch whose conflicts will produce the literal that has
+// so far appeared in fewer conflict clauses. With lit_activity(¬x) >
+// lit_activity(x), branch x=0 is taken first, since clauses learnt under
+// x=0 contain the positive literal x. Ties are broken randomly.
+func (s *Solver) litActivityPolarity(v cnf.Var) cnf.Lit {
+	pos, neg := s.litAct[cnf.PosLit(v)], s.litAct[cnf.NegLit(v)]
+	var rare cnf.Lit
+	switch {
+	case pos < neg:
+		rare = cnf.PosLit(v)
+	case neg < pos:
+		rare = cnf.NegLit(v)
+	default:
+		if s.rng.coin() {
+			rare = cnf.PosLit(v)
+		} else {
+			rare = cnf.NegLit(v)
+		}
+	}
+	// Branching on ¬rare makes future conflict clauses contain rare.
+	return rare.Not()
+}
+
+// nbTwoPolarity implements §7's cost function for decisions made on the
+// original formula: nb_two(l) approximates the BCP power of setting l to 0
+// by counting currently-binary clauses containing l plus, for each such
+// clause (l ∨ v), the currently-binary clauses containing ¬v. The literal
+// with the larger cost is set to 0 (i.e. its negation is enqueued); equal
+// costs pick a random side. Computation stops beyond NbTwoThreshold.
+func (s *Solver) nbTwoPolarity(v cnf.Var) cnf.Lit {
+	if l := s.savedPhase(v); l != cnf.LitUndef {
+		return l
+	}
+	pos := s.nbTwo(cnf.PosLit(v))
+	neg := s.nbTwo(cnf.NegLit(v))
+	var chosen cnf.Lit
+	switch {
+	case pos > neg:
+		chosen = cnf.PosLit(v)
+	case neg > pos:
+		chosen = cnf.NegLit(v)
+	default:
+		if s.rng.coin() {
+			chosen = cnf.PosLit(v)
+		} else {
+			chosen = cnf.NegLit(v)
+		}
+	}
+	return chosen.Not() // assign the value that sets the chosen literal to 0
+}
+
+// nbTwo computes the §7 cost function for literal l, stopping once the
+// value exceeds the threshold (100 in the paper's experiments).
+func (s *Solver) nbTwo(l cnf.Lit) int {
+	threshold := s.opt.NbTwoThreshold
+	total := 0
+	for _, c := range s.occ[l] {
+		other, binary := s.binaryOther(c, l)
+		if !binary {
+			continue
+		}
+		total++
+		// Count binary clauses containing ¬other: after l=0 forces
+		// other=1, these clauses propagate further.
+		for _, d := range s.occ[other.Not()] {
+			if _, bin := s.binaryOther(d, other.Not()); bin {
+				total++
+				if total > threshold {
+					return total
+				}
+			}
+		}
+		if total > threshold {
+			return total
+		}
+	}
+	return total
+}
+
+// binaryOther reports whether the clause is currently binary — unsatisfied
+// with exactly two unassigned literals, one of which is l — and returns the
+// other unassigned literal.
+func (s *Solver) binaryOther(c *clause, l cnf.Lit) (cnf.Lit, bool) {
+	other := cnf.LitUndef
+	for _, x := range c.lits {
+		switch s.value(x) {
+		case lTrue:
+			return cnf.LitUndef, false
+		case lUndef:
+			if x == l {
+				continue
+			}
+			if other != cnf.LitUndef {
+				return cnf.LitUndef, false // three or more unassigned
+			}
+			other = x
+		}
+	}
+	if other == cnf.LitUndef {
+		return cnf.LitUndef, false
+	}
+	return other, true
+}
+
+// Has reports whether the clause contains the literal.
+func (c *clause) Has(l cnf.Lit) bool {
+	for _, x := range c.lits {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}

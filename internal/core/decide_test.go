@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// TestTopClauseSelection checks §5: the branching variable comes from the
+// unsatisfied conflict clause closest to the top of the stack, and the
+// most active free variable of that clause is picked.
+func TestTopClauseSelection(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(6)
+	// Three learnt clauses; the topmost is satisfied, the middle is the
+	// current top clause.
+	old := &clause{lits: []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2)}, learnt: true}
+	mid := &clause{lits: []cnf.Lit{cnf.PosLit(3), cnf.PosLit(4)}, learnt: true}
+	top := &clause{lits: []cnf.Lit{cnf.PosLit(5), cnf.PosLit(6)}, learnt: true}
+	s.learnts = append(s.learnts, old, mid, top)
+	// Satisfy the topmost clause.
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(5), nil)
+
+	c, r := s.currentTopClause()
+	if c != mid {
+		t.Fatalf("current top clause = %v, want the middle clause", c.lits)
+	}
+	if r != 1 {
+		t.Fatalf("distance = %d, want 1", r)
+	}
+
+	// Most active free variable of the top clause wins.
+	s.varAct[3] = 5
+	s.varAct[4] = 9
+	if v := s.mostActiveFreeInClause(mid); v != 4 {
+		t.Fatalf("picked %d, want 4", v)
+	}
+	s.varAct[3] = 9 // tie broken toward the lower variable
+	if v := s.mostActiveFreeInClause(mid); v != 3 {
+		t.Fatalf("picked %d, want 3 on tie", v)
+	}
+}
+
+// TestAllLearntsSatisfiedFallsBackToGlobal checks the §5 fallback: when
+// every conflict clause is satisfied, the globally most active free
+// variable is chosen.
+func TestAllLearntsSatisfiedFallsBackToGlobal(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(3, 4))
+	s.learnts = append(s.learnts, &clause{lits: []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2)}, learnt: true})
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), nil)
+	s.varAct[3] = 7
+	if c, _ := s.currentTopClause(); c != nil {
+		t.Fatal("no unsatisfied learnt expected")
+	}
+	l := s.decideBerkMin()
+	if l.Var() != 3 {
+		t.Fatalf("decision on %v, want variable 3", l)
+	}
+	if s.stats.GlobalDecisions != 1 {
+		t.Fatal("global decision not counted")
+	}
+}
+
+// TestLitActivityPolarity checks the §7 example: with lit_activity(c)=3 and
+// lit_activity(¬c)=5, branch c=0 is explored first (the future conflict
+// clauses contain the rarer literal c).
+func TestLitActivityPolarity(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(1)
+	s.litAct[cnf.PosLit(1)] = 3
+	s.litAct[cnf.NegLit(1)] = 5
+	if l := s.litActivityPolarity(1); l != cnf.NegLit(1) {
+		t.Fatalf("branch = %v, want x1=0 (¬x1)", l)
+	}
+	s.litAct[cnf.PosLit(1)] = 8
+	if l := s.litActivityPolarity(1); l != cnf.PosLit(1) {
+		t.Fatalf("branch = %v, want x1=1", l)
+	}
+}
+
+// TestPolarityModes checks the Table 4 heuristics against a crafted top
+// clause containing ¬x.
+func TestPolarityModes(t *testing.T) {
+	mkSolver := func(p PolarityMode) (*Solver, *clause) {
+		s := New(BranchOptions(p))
+		s.ensureVars(2)
+		c := &clause{lits: []cnf.Lit{cnf.NegLit(1), cnf.PosLit(2)}, learnt: true}
+		s.learnts = append(s.learnts, c)
+		return s, c
+	}
+	s, c := mkSolver(PolaritySatTop)
+	if l := s.topClausePolarity(1, c); l != cnf.NegLit(1) {
+		t.Fatalf("sat_top: %v, want ¬x1 (satisfies the clause)", l)
+	}
+	s, c = mkSolver(PolarityUnsatTop)
+	if l := s.topClausePolarity(1, c); l != cnf.PosLit(1) {
+		t.Fatalf("unsat_top: %v, want x1", l)
+	}
+	s, c = mkSolver(PolarityTake0)
+	if l := s.topClausePolarity(1, c); l != cnf.NegLit(1) {
+		t.Fatalf("take_0: %v", l)
+	}
+	s, c = mkSolver(PolarityTake1)
+	if l := s.topClausePolarity(1, c); l != cnf.PosLit(1) {
+		t.Fatalf("take_1: %v", l)
+	}
+	s, c = mkSolver(PolarityTakeRand)
+	seenPos, seenNeg := false, false
+	for i := 0; i < 64; i++ {
+		switch s.topClausePolarity(1, c) {
+		case cnf.PosLit(1):
+			seenPos = true
+		case cnf.NegLit(1):
+			seenNeg = true
+		}
+	}
+	if !seenPos || !seenNeg {
+		t.Fatal("take_rand never varied")
+	}
+}
+
+// TestNbTwo checks §7's cost function on a crafted formula.
+func TestNbTwo(t *testing.T) {
+	s := New(DefaultOptions())
+	// Binary clauses: (1 2), (1 3), (-2 4), (-2 5), (-3 6).
+	// nb_two(+1) = 2 (two binaries with literal 1)
+	//   + for (1∨2): binaries containing ¬2: (−2 4), (−2 5) → +2
+	//   + for (1∨3): binaries containing ¬3: (−3 6) → +1
+	//   = 5.
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(1, 3))
+	s.AddClause(cnf.NewClause(-2, 4))
+	s.AddClause(cnf.NewClause(-2, 5))
+	s.AddClause(cnf.NewClause(-3, 6))
+	// A ternary clause with literal 1 must not count.
+	s.AddClause(cnf.NewClause(1, 5, 6))
+	if got := s.nbTwo(cnf.PosLit(1)); got != 5 {
+		t.Fatalf("nb_two(+1) = %d, want 5", got)
+	}
+	// ¬1 appears in no clause.
+	if got := s.nbTwo(cnf.NegLit(1)); got != 0 {
+		t.Fatalf("nb_two(-1) = %d, want 0", got)
+	}
+	// The chosen branch sets the higher-cost literal to 0: nbTwoPolarity
+	// must return ¬1 (assigning x1=0 falsifies literal 1).
+	if l := s.nbTwoPolarity(1); l != cnf.NegLit(1) {
+		t.Fatalf("polarity = %v, want ¬x1", l)
+	}
+}
+
+// TestNbTwoCountsCurrentlyBinary checks that satisfied clauses and clauses
+// with more than two free literals are excluded, and assigned literals are
+// ignored.
+func TestNbTwoCountsCurrentlyBinary(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2, 3)) // ternary now; binary once 3 is false
+	s.AddClause(cnf.NewClause(1, 4))    // binary; satisfied once 4 is true
+	if got := s.nbTwo(cnf.PosLit(1)); got != 1 {
+		t.Fatalf("nb_two = %d, want 1", got)
+	}
+	s.newDecisionLevel()
+	s.enqueue(cnf.NegLit(3), nil) // (1 2 3) becomes effectively binary
+	s.enqueue(cnf.PosLit(4), nil) // (1 4) becomes satisfied
+	if got := s.nbTwo(cnf.PosLit(1)); got != 1 {
+		t.Fatalf("nb_two after assignments = %d, want 1", got)
+	}
+}
+
+// TestNbTwoThresholdStops verifies the computation is cut off beyond the
+// threshold (100 in the paper, configurable here).
+func TestNbTwoThresholdStops(t *testing.T) {
+	o := DefaultOptions()
+	o.NbTwoThreshold = 3
+	s := New(o)
+	for v := 2; v <= 20; v++ {
+		s.AddClause(cnf.NewClause(1, v))
+	}
+	got := s.nbTwo(cnf.PosLit(1))
+	if got <= 3 || got > 25 {
+		t.Fatalf("nb_two = %d, expected just above the threshold", got)
+	}
+}
+
+// TestChaffDecisionPicksMaxLiteral checks the zChaff-like VSIDS decision.
+func TestChaffDecisionPicksMaxLiteral(t *testing.T) {
+	s := New(ChaffOptions())
+	s.ensureVars(3)
+	s.chaffAct[cnf.NegLit(2)] = 10
+	s.chaffAct[cnf.PosLit(3)] = 7
+	if l := s.decideChaff(); l != cnf.NegLit(2) {
+		t.Fatalf("chaff decision = %v, want ¬x2", l)
+	}
+	s.newDecisionLevel()
+	s.enqueue(cnf.NegLit(2), nil)
+	if l := s.decideChaff(); l != cnf.PosLit(3) {
+		t.Fatalf("chaff decision = %v, want x3", l)
+	}
+}
+
+// TestDecideReturnsUndefWhenAllAssigned confirms the SAT termination
+// condition.
+func TestDecideReturnsUndefWhenAllAssigned(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(2)
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), nil)
+	s.enqueue(cnf.PosLit(2), nil)
+	if l := s.decide(); l != cnf.LitUndef {
+		t.Fatalf("decide = %v, want undef", l)
+	}
+}
+
+// TestSkinHistogramDistance checks that decisions on deeper clauses are
+// recorded at the right distance.
+func TestSkinHistogramDistance(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(6)
+	for v := 1; v <= 3; v++ {
+		c := &clause{lits: []cnf.Lit{cnf.PosLit(cnf.Var(2*v - 1)), cnf.PosLit(cnf.Var(2 * v))}, learnt: true}
+		s.learnts = append(s.learnts, c)
+	}
+	// Satisfy the two clauses nearest the top (vars 3..6 true).
+	s.newDecisionLevel()
+	for v := 3; v <= 6; v++ {
+		s.enqueue(cnf.PosLit(cnf.Var(v)), nil)
+	}
+	s.decideBerkMin()
+	if s.stats.Skin.At(2) != 1 {
+		t.Fatalf("skin histogram = %v, want f(2) = 1", s.stats.Skin.Counts)
+	}
+}
+
+// TestStrategy3MatchesNaive cross-checks the optimized heap pick against
+// the naive scan on identical activity profiles.
+func TestStrategy3MatchesNaive(t *testing.T) {
+	naive := New(DefaultOptions())
+	opt3 := func() *Solver {
+		o := DefaultOptions()
+		o.OptimizedGlobalPick = true
+		return New(o)
+	}()
+	naive.ensureVars(10)
+	opt3.ensureVars(10)
+	acts := []int64{0, 3, 9, 1, 9, 2, 0, 7, 4, 9, 5}
+	for v := 1; v <= 10; v++ {
+		naive.varAct[v] = acts[v]
+		opt3.varAct[v] = acts[v]
+		for i := int64(0); i < acts[v]; i++ {
+			opt3.order.bumped(cnf.Var(v))
+		}
+	}
+	// The heap may pop any of the maximally active vars; both must report
+	// an activity-9 variable.
+	nv := naive.mostActiveFreeVar()
+	ov := opt3.mostActiveFreeVar()
+	if naive.varAct[nv] != 9 || opt3.varAct[ov] != 9 {
+		t.Fatalf("naive=%d(%d) opt=%d(%d)", nv, naive.varAct[nv], ov, opt3.varAct[ov])
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/dpll"
+)
+
+// FuzzSolveAgainstDPLL decodes arbitrary bytes into a small CNF and
+// differential-tests the engine against the reference DPLL solver. Each
+// byte encodes one literal: low 4 bits variable (1..8), bit 4 sign,
+// bits 5-6 "end clause" markers.
+func FuzzSolveAgainstDPLL(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x40, 0x23, 0x05, 0x60})
+	f.Add([]byte{0x01, 0x40, 0x11, 0x40})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		formula := cnf.New(8)
+		var cur cnf.Clause
+		for _, b := range data {
+			v := cnf.Var(int(b&0x0F)%8 + 1)
+			cur = append(cur, cnf.MkLit(v, b&0x10 != 0))
+			if b&0x60 != 0 {
+				formula.Add(cur)
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			formula.Add(cur)
+		}
+		want := dpll.Solve(formula).Sat
+		s := New(DefaultOptions())
+		s.AddFormula(formula)
+		r := s.Solve()
+		if (r.Status == StatusSat) != want {
+			t.Fatalf("engine %v, dpll sat=%v, clauses %v", r.Status, want, formula.Clauses)
+		}
+		if r.Status == StatusSat && !cnf.Assignment(r.Model).Satisfies(formula) {
+			t.Fatalf("bad model for %v", formula.Clauses)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// varHeap is an indexed max-heap over variables keyed by var_activity. It
+// implements "strategy 3" of BerkMin561 (Remark 1): an optimized
+// most-active-free-variable pick replacing the naive scan of the main text.
+// Aging divides every activity by the same constant, which is monotone, so
+// the heap order survives decay without a rebuild.
+type varHeap struct {
+	act  *[]int64
+	heap []cnf.Var
+	pos  []int32 // pos[v] is index+1 in heap, 0 = absent
+}
+
+func (h *varHeap) less(i, j int) bool {
+	a := *h.act
+	return a[h.heap[i]] > a[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = int32(i + 1)
+	h.pos[h.heap[j]] = int32(j + 1)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(l, best) {
+			best = l
+		}
+		if r < n && h.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// grow makes room for variables up to v.
+func (h *varHeap) grow(v cnf.Var) {
+	for len(h.pos) <= int(v) {
+		h.pos = append(h.pos, 0)
+	}
+}
+
+// insert adds v if absent.
+func (h *varHeap) insert(v cnf.Var) {
+	h.grow(v)
+	if h.pos[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+// bumped restores the heap property after v's activity increased.
+func (h *varHeap) bumped(v cnf.Var) {
+	if int(v) < len(h.pos) && h.pos[v] != 0 {
+		h.up(int(h.pos[v]) - 1)
+	}
+}
+
+// pop removes and returns the most active variable, or 0 if empty.
+func (h *varHeap) pop() cnf.Var {
+	if len(h.heap) == 0 {
+		return 0
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.pos[top] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// heapPopFree pops until an unassigned variable appears. Assigned variables
+// dropped here are re-inserted when backtracking unassigns them.
+func (s *Solver) heapPopFree() cnf.Var {
+	for {
+		v := s.order.pop()
+		if v == 0 {
+			return 0
+		}
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package core
+
+import "time"
+
+// DecisionMode selects how the next branching variable is chosen.
+type DecisionMode int
+
+const (
+	// DecideBerkMinTop is BerkMin's rule (§5): pick the most active free
+	// variable of the current top clause (the unsatisfied conflict clause
+	// closest to the top of the stack); if every conflict clause is
+	// satisfied, fall back to the globally most active free variable.
+	DecideBerkMinTop DecisionMode = iota
+	// DecideGlobalMostActive is the Less_mobility ablation of Table 2:
+	// always pick the globally most active free variable (activities are
+	// still computed the BerkMin way).
+	DecideGlobalMostActive
+	// DecideChaffLiteral is Chaff's VSIDS rule: pick the free literal with
+	// the highest (aged) conflict-clause occurrence counter; the literal
+	// choice fixes the polarity.
+	DecideChaffLiteral
+)
+
+// PolarityMode selects which branch of the chosen variable is explored first
+// when the decision was made on the current top clause (§7, Table 4).
+type PolarityMode int
+
+const (
+	// PolarityLitActivity is BerkMin's database-symmetrization rule: explore
+	// first the branch whose future conflict clauses contain the literal
+	// that has so far appeared in fewer conflict clauses.
+	PolarityLitActivity PolarityMode = iota
+	// PolaritySatTop always satisfies the current top clause.
+	PolaritySatTop
+	// PolarityUnsatTop always falsifies the chosen literal of the top clause.
+	PolarityUnsatTop
+	// PolarityTake0 always assigns 0.
+	PolarityTake0
+	// PolarityTake1 always assigns 1.
+	PolarityTake1
+	// PolarityTakeRand assigns a random value.
+	PolarityTakeRand
+)
+
+// SensitivityMode selects how variable activities are updated on a conflict
+// (§4, Table 1).
+type SensitivityMode int
+
+const (
+	// SensitivityResponsible is BerkMin's rule: bump var_activity(x) once
+	// per occurrence of a literal of x in every clause responsible for the
+	// conflict (every antecedent used in the resolution chain).
+	SensitivityResponsible SensitivityMode = iota
+	// SensitivityConflictClause is the Less_sensitivity ablation (Chaff's
+	// rule): bump only the variables of the final learnt clause, by 1.
+	SensitivityConflictClause
+)
+
+// ReduceMode selects the clause-database management procedure run at each
+// restart (§8, Table 5).
+type ReduceMode int
+
+const (
+	// ReduceBerkMin keeps clauses by age (young = within 15/16 of the stack
+	// top), length and activity; the old-clause activity threshold grows
+	// over time; the topmost clause is never removed.
+	ReduceBerkMin ReduceMode = iota
+	// ReduceLimitedKeeping simulates GRASP/Chaff database management:
+	// remove every learnt clause longer than LimitedKeepLen.
+	ReduceLimitedKeeping
+	// ReduceNone never removes learnt clauses (memory permitting).
+	ReduceNone
+)
+
+// RestartPolicy selects when the current search tree is abandoned.
+type RestartPolicy int
+
+const (
+	// RestartFixed restarts every RestartFirst conflicts, with an optional
+	// random jitter of ±RestartJitter (the paper calls BerkMin's strategy
+	// "primitive, close to random").
+	RestartFixed RestartPolicy = iota
+	// RestartGeometric multiplies the interval by RestartFactor each time.
+	RestartGeometric
+	// RestartLuby follows the Luby sequence scaled by RestartFirst.
+	RestartLuby
+	// RestartNever disables restarts (and therefore database reduction).
+	RestartNever
+)
+
+// Options configures a Solver. The zero value is not useful; start from
+// DefaultOptions (BerkMin56 as described in the paper) or one of the presets
+// and override fields as needed.
+type Options struct {
+	// Decision making.
+	Decision            DecisionMode
+	Polarity            PolarityMode
+	Sensitivity         SensitivityMode
+	NbTwoThreshold      int  // stop computing nb_two above this value (§7; 100)
+	OptimizedGlobalPick bool // strategy 3 of BerkMin561 (Remark 1): heap-based global pick
+
+	// Activity aging (Chaff's "aging" of counters, inherited by BerkMin).
+	AgingPeriod  uint64 // conflicts between decays
+	AgingDivisor int64  // counters are divided by this at each decay
+
+	// Restarts.
+	Restart       RestartPolicy
+	RestartFirst  int     // initial conflict interval
+	RestartFactor float64 // geometric growth factor
+	RestartJitter int     // ± uniform jitter on the interval (fixed policy)
+
+	// Clause database management.
+	Reduce           ReduceMode
+	YoungFracNum     int // a clause is young iff distance-from-top < Num/Den · stack size
+	YoungFracDen     int
+	YoungMaxLen      int   // keep young clause iff length < YoungMaxLen ...
+	YoungMinAct      int64 // ... or activity > YoungMinAct
+	OldMaxLen        int   // keep old clause iff length < OldMaxLen ...
+	OldThresholdInit int64 // ... or activity > threshold (initially this)
+	OldThresholdInc  int64 // threshold increment per cleaning
+	LimitedKeepLen   int   // ReduceLimitedKeeping: remove clauses longer than this
+	MarkPeriod       int   // permanently protect one clause every N restarts (0 = off; the paper's partial anti-looping scheme protects only the topmost clause)
+
+	// Learnt-clause minimization (post-BerkMin technique; off by default,
+	// available as an extension ablation).
+	MinimizeLearnt bool
+
+	// PhaseSaving remembers each variable's last assigned polarity and
+	// reuses it on decisions (a post-BerkMin technique from RSAT-era
+	// solvers; off by default — it replaces the paper's §7 polarity
+	// heuristics when enabled, so it exists purely as an ablation).
+	PhaseSaving bool
+
+	// Resource limits (0 = unlimited). Exceeding a limit yields StatusUnknown.
+	MaxConflicts uint64
+	MaxDecisions uint64
+	MaxTime      time.Duration
+
+	// Seed for the solver's deterministic PRNG (tie-breaking, Take_rand,
+	// restart jitter). The same seed reproduces the same run exactly.
+	Seed uint64
+}
+
+// DefaultOptions returns BerkMin as the paper describes it (the BerkMin56
+// configuration): responsible-clause sensitivity, top-clause mobility,
+// lit-activity branch selection, age/length/activity database management,
+// fixed-interval restarts.
+func DefaultOptions() Options {
+	return Options{
+		Decision:         DecideBerkMinTop,
+		Polarity:         PolarityLitActivity,
+		Sensitivity:      SensitivityResponsible,
+		NbTwoThreshold:   100,
+		AgingPeriod:      100,
+		AgingDivisor:     4,
+		Restart:          RestartFixed,
+		RestartFirst:     550,
+		RestartFactor:    1.0,
+		RestartJitter:    50,
+		Reduce:           ReduceBerkMin,
+		YoungFracNum:     15,
+		YoungFracDen:     16,
+		YoungMaxLen:      43,
+		YoungMinAct:      7,
+		OldMaxLen:        9,
+		OldThresholdInit: 60,
+		OldThresholdInc:  1,
+		LimitedKeepLen:   42,
+		Seed:             1,
+	}
+}
+
+// LessSensitivityOptions is Table 1's ablation: Chaff-style variable
+// activity (only the learnt clause's variables are bumped).
+func LessSensitivityOptions() Options {
+	o := DefaultOptions()
+	o.Sensitivity = SensitivityConflictClause
+	return o
+}
+
+// LessMobilityOptions is Table 2's ablation: the globally most active free
+// variable is always chosen, ignoring the conflict-clause stack.
+func LessMobilityOptions() Options {
+	o := DefaultOptions()
+	o.Decision = DecideGlobalMostActive
+	return o
+}
+
+// BranchOptions returns BerkMin with the given branch-selection heuristic
+// (Table 4's ablations).
+func BranchOptions(p PolarityMode) Options {
+	o := DefaultOptions()
+	o.Polarity = p
+	return o
+}
+
+// LimitedKeepingOptions is Table 5's ablation: GRASP-style database
+// management that removes every clause longer than 42 literals.
+func LimitedKeepingOptions() Options {
+	o := DefaultOptions()
+	o.Reduce = ReduceLimitedKeeping
+	return o
+}
+
+// ChaffOptions approximates zChaff: VSIDS literal counters incremented on
+// learnt-clause literals, halved every 100 conflicts, GRASP-like database
+// management, fixed restarts. The paper describes these heuristics in §3–§5.
+func ChaffOptions() Options {
+	o := DefaultOptions()
+	o.Decision = DecideChaffLiteral
+	o.Sensitivity = SensitivityConflictClause
+	o.AgingDivisor = 2
+	o.AgingPeriod = 100
+	o.Reduce = ReduceLimitedKeeping
+	o.LimitedKeepLen = 100
+	o.Restart = RestartFixed
+	o.RestartFirst = 700
+	o.RestartJitter = 0
+	return o
+}
+
+// LimmatOptions approximates limmat, the third solver of Table 10: a
+// Chaff-family solver with its own decay and restart constants.
+func LimmatOptions() Options {
+	o := ChaffOptions()
+	o.AgingPeriod = 50
+	o.Restart = RestartGeometric
+	o.RestartFirst = 100
+	o.RestartFactor = 1.5
+	o.LimitedKeepLen = 60
+	return o
+}
+
+// normalize fills in unset (zero) fields that would otherwise divide by
+// zero or loop forever.
+func (o *Options) normalize() {
+	if o.NbTwoThreshold <= 0 {
+		o.NbTwoThreshold = 100
+	}
+	if o.AgingPeriod == 0 {
+		o.AgingPeriod = 100
+	}
+	if o.AgingDivisor < 2 {
+		o.AgingDivisor = 2
+	}
+	if o.RestartFirst <= 0 {
+		o.RestartFirst = 550
+	}
+	if o.RestartFactor < 1.0 {
+		o.RestartFactor = 1.0
+	}
+	if o.YoungFracNum <= 0 || o.YoungFracDen <= 0 || o.YoungFracNum >= o.YoungFracDen {
+		o.YoungFracNum, o.YoungFracDen = 15, 16
+	}
+	if o.YoungMaxLen <= 0 {
+		o.YoungMaxLen = 43
+	}
+	if o.OldMaxLen <= 0 {
+		o.OldMaxLen = 9
+	}
+	if o.OldThresholdInit <= 0 {
+		o.OldThresholdInit = 60
+	}
+	if o.LimitedKeepLen <= 0 {
+		o.LimitedKeepLen = 42
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x9E3779B97F4A7C15
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"bufio"
+	"strconv"
+
+	"berkmin/internal/cnf"
+)
+
+// DRUP proof logging. When a proof writer is attached, every learnt clause
+// is logged as an addition, every removed or strengthened clause as a
+// deletion, and the final empty clause when UNSAT is established. The
+// resulting trace is checkable by package drup (and by standard drat-trim
+// style tools). Proof logging is an extension beyond the paper — BerkMin
+// predates DRUP — added because it lets the test suite independently verify
+// every UNSAT answer.
+
+func (s *Solver) proofWrite(prefix string, lits []cnf.Lit) {
+	if s.proof == nil {
+		return
+	}
+	var buf [16]byte
+	bw, isBuf := s.proof.(*bufio.Writer)
+	write := func(b []byte) {
+		if isBuf {
+			bw.Write(b)
+		} else {
+			s.proof.Write(b)
+		}
+	}
+	if prefix != "" {
+		write([]byte(prefix))
+	}
+	for _, l := range lits {
+		b := strconv.AppendInt(buf[:0], int64(l.Dimacs()), 10)
+		b = append(b, ' ')
+		write(b)
+	}
+	write([]byte("0\n"))
+}
+
+// proofAdd logs a learnt (or strengthened) clause addition.
+func (s *Solver) proofAdd(lits []cnf.Lit) { s.proofWrite("", lits) }
+
+// proofDelete logs a clause deletion.
+func (s *Solver) proofDelete(lits []cnf.Lit) { s.proofWrite("d ", lits) }
+
+// proofEmpty logs the empty clause, completing an UNSAT proof.
+func (s *Solver) proofEmpty() { s.proofWrite("", nil) }

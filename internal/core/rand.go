@@ -1,0 +1,29 @@
+package core
+
+// xorshift is a tiny deterministic PRNG (xorshift64*). The solver uses it
+// for tie-breaking, the Take_rand heuristic and restart jitter; seeding it
+// makes every run exactly reproducible, which the benchmark harness and the
+// ablation tables rely on.
+type xorshift struct{ s uint64 }
+
+func newXorshift(seed uint64) xorshift {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return xorshift{s: seed}
+}
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s >> 12
+	x.s ^= x.s << 25
+	x.s ^= x.s >> 27
+	return x.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform value in [0, n). n must be > 0.
+func (x *xorshift) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
+
+// coin returns a uniform boolean.
+func (x *xorshift) coin() bool { return x.next()&1 == 1 }

@@ -1,0 +1,188 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// reduceDB is BerkMin's clause-database management (§8), run after the
+// current search tree is abandoned. It (1) simplifies the database under
+// the retained level-0 assignments — clauses satisfied by them are
+// physically removed and false literals are stripped, which covers the
+// paper's "fraction of clauses removed automatically"; (2) removes conflict
+// clauses by age, length and activity; (3) recomputes the solver's data
+// structures (watches, occurrence lists), as the paper's implementation
+// does to fit smaller memory blocks.
+func (s *Solver) reduceDB() {
+	// Finish pending level-0 propagation first.
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		s.proofEmpty()
+		return
+	}
+	s.simplifyLevel0()
+	if !s.ok {
+		return
+	}
+
+	switch s.opt.Reduce {
+	case ReduceNone:
+		// keep everything
+	case ReduceLimitedKeeping:
+		s.reduceLimitedKeeping()
+	default:
+		s.reduceBerkMin()
+	}
+
+	// Periodically mark one clause as permanently protected — the paper's
+	// scheme that makes the algorithm complete by preventing looping.
+	if s.opt.MarkPeriod > 0 {
+		s.sinceMark++
+		if s.sinceMark >= s.opt.MarkPeriod && len(s.learnts) > 0 {
+			s.sinceMark = 0
+			s.learnts[len(s.learnts)-1].protect = true
+		}
+	}
+
+	s.rebuildWatches()
+	s.rebuildOcc()
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		s.proofEmpty()
+	}
+}
+
+// simplifyLevel0 removes clauses satisfied at level 0 and strips literals
+// false at level 0, over both problem and learnt clauses. Clauses reduced
+// to units become retained level-0 assignments.
+func (s *Solver) simplifyLevel0() {
+	// Level-0 variables keep their assignment forever; their antecedents
+	// are about to be recycled, so drop the pointers.
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nil
+	}
+	s.clauses = s.simplifySlice(s.clauses)
+	if !s.ok {
+		return
+	}
+	s.learnts = s.simplifySlice(s.learnts)
+}
+
+func (s *Solver) simplifySlice(list []*clause) []*clause {
+	kept := list[:0]
+clauses:
+	for _, c := range list {
+		strip := false
+		for _, l := range c.lits {
+			switch s.value(l) {
+			case lTrue:
+				s.stats.SimplifiedSat++
+				s.proofDelete(c.lits)
+				continue clauses
+			case lFalse:
+				strip = true
+			}
+		}
+		if strip {
+			var snapshot []cnf.Lit
+			if s.proof != nil {
+				snapshot = append([]cnf.Lit(nil), c.lits...)
+			}
+			n := len(c.lits)
+			out := c.lits[:0]
+			for _, l := range c.lits {
+				if s.value(l) == lUndef {
+					out = append(out, l)
+				}
+			}
+			s.stats.StrippedLits += uint64(n - len(out))
+			// Proof: the strengthened clause is RUP given the level-0
+			// units; log it before retiring the original.
+			s.proofAdd(out)
+			if snapshot != nil {
+				s.proofDelete(snapshot)
+			}
+			c.lits = out
+			c.satCache = cnf.LitUndef
+			if len(out) == 1 {
+				if !s.enqueue(out[0], nil) {
+					s.ok = false
+					s.proofEmpty()
+					return kept
+				}
+				continue
+			}
+			if len(out) == 0 {
+				s.ok = false
+				s.proofEmpty()
+				return kept
+			}
+		}
+		kept = append(kept, c)
+	}
+	// Zero the tail so removed clauses can be collected.
+	for i := len(kept); i < len(list); i++ {
+		list[i] = nil
+	}
+	return kept
+}
+
+// reduceBerkMin applies §8's keep/remove rules to the conflict-clause
+// stack. With the stack holding m clauses, a clause at distance d from the
+// top is young iff d < (YoungFracNum/YoungFracDen)·m. A young clause is
+// kept iff it is shorter than YoungMaxLen or its activity exceeds
+// YoungMinAct; an old clause iff shorter than OldMaxLen or more active than
+// the growing threshold. The topmost clause is never removed (anti-looping).
+func (s *Solver) reduceBerkMin() {
+	m := len(s.learnts)
+	if m == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		d := m - 1 - i
+		keep := false
+		switch {
+		case i == m-1 || c.protect:
+			keep = true
+		case d*s.opt.YoungFracDen < m*s.opt.YoungFracNum: // young
+			keep = c.len() < s.opt.YoungMaxLen || c.act > s.opt.YoungMinAct
+		default: // old
+			keep = c.len() < s.opt.OldMaxLen || c.act > s.oldThreshold
+		}
+		if keep {
+			kept = append(kept, c)
+		} else {
+			s.stats.DeletedTotal++
+			s.proofDelete(c.lits)
+		}
+	}
+	for i := len(kept); i < m; i++ {
+		s.learnts[i] = nil
+	}
+	s.learnts = kept
+	// Long clauses that were active once but stopped participating in
+	// conflicts must eventually go: the old-clause threshold grows.
+	s.oldThreshold += s.opt.OldThresholdInc
+}
+
+// reduceLimitedKeeping simulates GRASP's (and Chaff's) database management
+// for Table 5: every learnt clause longer than LimitedKeepLen is removed,
+// regardless of age or activity. The topmost clause stays, as in the rest
+// of the engine.
+func (s *Solver) reduceLimitedKeeping() {
+	m := len(s.learnts)
+	if m == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for i, c := range s.learnts {
+		if i == m-1 || c.protect || c.len() <= s.opt.LimitedKeepLen {
+			kept = append(kept, c)
+		} else {
+			s.stats.DeletedTotal++
+			s.proofDelete(c.lits)
+		}
+	}
+	for i := len(kept); i < m; i++ {
+		s.learnts[i] = nil
+	}
+	s.learnts = kept
+}

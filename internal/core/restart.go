@@ -1,0 +1,65 @@
+package core
+
+// restart abandons the current search tree (keeping level-0 assignments,
+// the paper's "retained assignments") and runs clause-database management
+// before the next iteration begins (§8). The paper describes BerkMin's
+// restart strategy as "very primitive (being close to random)"; the default
+// policy restarts every RestartFirst conflicts with a random jitter.
+func (s *Solver) restart() {
+	s.stats.Restarts++
+	s.sinceRestart = 0
+	s.cancelUntil(0)
+	s.reduceDB()
+	s.restartLimit = s.nextRestartLimit()
+}
+
+// nextRestartLimit computes the conflict interval until the next restart
+// according to the configured policy.
+func (s *Solver) nextRestartLimit() int {
+	switch s.opt.Restart {
+	case RestartGeometric:
+		limit := float64(s.opt.RestartFirst)
+		for i := 0; i < s.lubyIndex; i++ {
+			limit *= s.opt.RestartFactor
+		}
+		s.lubyIndex++
+		if limit > 1e9 {
+			limit = 1e9
+		}
+		return int(limit)
+	case RestartLuby:
+		s.lubyIndex++
+		return s.opt.RestartFirst * luby(s.lubyIndex)
+	case RestartNever:
+		return 1 << 30
+	default: // RestartFixed with jitter
+		limit := s.opt.RestartFirst
+		if j := s.opt.RestartJitter; j > 0 {
+			limit += s.rng.intn(2*j+1) - j
+		}
+		if limit < 1 {
+			limit = 1
+		}
+		return limit
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int) int {
+	// Find the subsequence the index falls into.
+	k := 1
+	for (1<<k)-1 < i {
+		k++
+	}
+	for {
+		if (1<<k)-1 == i {
+			return 1 << (k - 1)
+		}
+		i -= (1 << (k - 1)) - 1
+		k = 1
+		for (1<<k)-1 < i {
+			k++
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+func TestLubySequence(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1}
+	for i, w := range want {
+		if got := luby(i + 1); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestFixedRestartJitterBounds(t *testing.T) {
+	o := DefaultOptions()
+	o.RestartFirst = 100
+	o.RestartJitter = 10
+	s := New(o)
+	for i := 0; i < 200; i++ {
+		l := s.nextRestartLimit()
+		if l < 90 || l > 110 {
+			t.Fatalf("limit %d outside [90,110]", l)
+		}
+	}
+}
+
+func TestFixedRestartNoJitterIsConstant(t *testing.T) {
+	o := DefaultOptions()
+	o.RestartFirst = 550
+	o.RestartJitter = 0
+	s := New(o)
+	for i := 0; i < 5; i++ {
+		if l := s.nextRestartLimit(); l != 550 {
+			t.Fatalf("limit = %d", l)
+		}
+	}
+}
+
+func TestGeometricRestartGrows(t *testing.T) {
+	o := DefaultOptions()
+	o.Restart = RestartGeometric
+	o.RestartFirst = 100
+	o.RestartFactor = 2.0
+	s := New(o)
+	// New() consumed the first interval; subsequent calls keep growing.
+	a := s.nextRestartLimit()
+	b := s.nextRestartLimit()
+	c := s.nextRestartLimit()
+	if !(a < b && b < c) {
+		t.Fatalf("intervals not growing: %d %d %d", a, b, c)
+	}
+	if b != 2*a {
+		t.Fatalf("factor not applied: %d then %d", a, b)
+	}
+}
+
+func TestLubyRestartFollowsSequence(t *testing.T) {
+	o := DefaultOptions()
+	o.Restart = RestartLuby
+	o.RestartFirst = 10
+	s := New(o)
+	// New consumed luby(1)=1 -> 10. Next: luby(2)=1, luby(3)=2, luby(4)=1.
+	if l := s.nextRestartLimit(); l != 10 {
+		t.Fatalf("luby limit = %d, want 10", l)
+	}
+	if l := s.nextRestartLimit(); l != 20 {
+		t.Fatalf("luby limit = %d, want 20", l)
+	}
+	if l := s.nextRestartLimit(); l != 10 {
+		t.Fatalf("luby limit = %d, want 10", l)
+	}
+}
+
+func TestRestartNeverDisablesRestarts(t *testing.T) {
+	o := DefaultOptions()
+	o.Restart = RestartNever
+	s := New(o)
+	s.AddFormula(pigeonhole(6))
+	r := s.Solve()
+	if r.Status != StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Stats.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0", r.Stats.Restarts)
+	}
+}
+
+func TestRestartKeepsLevel0Assignments(t *testing.T) {
+	s := New(DefaultOptions())
+	s.ensureVars(4)
+	s.enqueue(cnf.PosLit(1), nil) // level-0 fact
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(2), nil)
+	s.restart()
+	if s.value(cnf.PosLit(1)) != lTrue {
+		t.Fatal("level-0 assignment lost across restart")
+	}
+	if s.value(cnf.PosLit(2)) != lUndef {
+		t.Fatal("decision survived restart")
+	}
+	if s.stats.Restarts != 1 {
+		t.Fatalf("restarts = %d", s.stats.Restarts)
+	}
+}
+
+func TestMarkPeriodProtectsClauses(t *testing.T) {
+	o := DefaultOptions()
+	o.MarkPeriod = 1
+	s := New(o)
+	base := 1
+	for i := 0; i < 4; i++ {
+		c := mkLearnt(s, base, 3, 0)
+		base += c.len()
+	}
+	s.reduceDB()
+	protected := 0
+	for _, c := range s.learnts {
+		if c.protect {
+			protected++
+		}
+	}
+	if protected != 1 {
+		t.Fatalf("protected = %d, want 1", protected)
+	}
+}

@@ -1,0 +1,411 @@
+// Package core implements the paper's contribution: the BerkMin CDCL
+// SAT-solver. The engine provides two-watched-literal Boolean constraint
+// propagation (the SATO/Chaff technique, §2), first-UIP conflict analysis
+// with responsible-clause tracking (§2, §4), non-chronological backtracking
+// (GRASP), restarts, and BerkMin's decision-making and clause-database
+// management (§4–§8). Every heuristic the paper measures — including all of
+// its ablations (Less_sensitivity, Less_mobility, the Table 4 branch
+// selection variants, Limited_keeping) and the zChaff-like and limmat-like
+// comparison configurations — is an Options setting of the same engine.
+package core
+
+import (
+	"io"
+	"time"
+
+	"berkmin/internal/cnf"
+)
+
+// Status is a solver verdict.
+type Status int
+
+const (
+	// StatusUnknown means a resource limit was hit before an answer.
+	StatusUnknown Status = iota
+	// StatusSat means a satisfying assignment was found.
+	StatusSat
+	// StatusUnsat means the formula was proven unsatisfiable.
+	StatusUnsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSat:
+		return "SATISFIABLE"
+	case StatusUnsat:
+		return "UNSATISFIABLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	// Model is the satisfying assignment when Status == StatusSat;
+	// Model[v] is the value of variable v (index 0 unused).
+	Model []bool
+	// FailedAssumptions, for an UNSAT answer from SolveAssuming, holds a
+	// subset of the assumptions that is already contradictory with the
+	// formula. Empty when the formula is unsatisfiable on its own.
+	FailedAssumptions []cnf.Lit
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Solver is a CDCL SAT solver. Create one with New, add clauses with
+// AddClause or AddFormula, then call Solve. A Solver is not safe for
+// concurrent use.
+type Solver struct {
+	opt Options
+
+	nVars   int
+	clauses []*clause // problem clauses (physically shrunk by simplification)
+	learnts []*clause // conflict-clause stack, index = age, top = end
+
+	watches [][]watcher // watches[l]: clauses currently watching literal l
+
+	assigns  []lbool   // per variable
+	vlevel   []int32   // per variable: decision level of its assignment
+	reason   []*clause // per variable: antecedent clause (nil for decisions)
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	varAct   []int64 // per variable: BerkMin var_activity (§4)
+	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
+	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
+	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
+
+	occ [][]*clause // per literal: problem clauses containing it (for nb_two, §7)
+
+	seen       []bool    // conflict-analysis scratch, per variable
+	analyzeBuf []cnf.Lit // conflict-analysis scratch
+
+	order varHeap // strategy-3 activity heap (Options.OptimizedGlobalPick)
+
+	rng xorshift
+
+	// debugLearnt, when set, observes every learnt clause before it is
+	// recorded (test hook); debugConflict observes every conflict before
+	// analysis.
+	debugLearnt   func([]cnf.Lit)
+	debugConflict func(*clause)
+
+	ok           bool // false once UNSAT is established at level 0
+	restartLimit int  // conflicts until next restart
+	lubyIndex    int
+	sinceRestart uint64
+	sinceAging   uint64
+	sinceMark    int
+	oldThreshold int64 // ReduceBerkMin's growing old-clause activity threshold
+	stats        Stats
+	deadline     time.Time
+	proof        io.Writer // optional DRUP proof log
+}
+
+// New returns a Solver with the given options.
+func New(opt Options) *Solver {
+	opt.normalize()
+	s := &Solver{
+		opt:          opt,
+		ok:           true,
+		rng:          newXorshift(opt.Seed),
+		oldThreshold: opt.OldThresholdInit,
+	}
+	s.order.act = &s.varAct
+	s.restartLimit = s.nextRestartLimit()
+	return s
+}
+
+// SetProofWriter directs a DRUP proof of unsatisfiability to w. Must be
+// called before any AddClause. Clause learning, deletion and
+// strengthening events are logged; a final empty clause is emitted when
+// the solver answers UNSAT. The proof can be validated with package drup.
+func (s *Solver) SetProofWriter(w io.Writer) { s.proof = w }
+
+// NumVars returns the number of variables the solver knows about.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// ensureVars grows the per-variable and per-literal arrays to hold
+// variables 1..n.
+func (s *Solver) ensureVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	old := s.nVars
+	s.nVars = n
+	for len(s.assigns) <= n {
+		s.assigns = append(s.assigns, lUndef)
+		s.vlevel = append(s.vlevel, 0)
+		s.reason = append(s.reason, nil)
+		s.varAct = append(s.varAct, 0)
+		s.seen = append(s.seen, false)
+		s.phase = append(s.phase, lUndef)
+	}
+	if s.opt.OptimizedGlobalPick {
+		for v := old + 1; v <= n; v++ {
+			s.order.insert(cnf.Var(v))
+		}
+	}
+	for len(s.watches) <= 2*n+1 {
+		s.watches = append(s.watches, nil)
+		s.litAct = append(s.litAct, 0)
+		s.chaffAct = append(s.chaffAct, 0)
+		s.occ = append(s.occ, nil)
+	}
+}
+
+// value returns the literal's current three-valued truth value.
+func (s *Solver) value(l cnf.Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -a
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddFormula adds every clause of f.
+func (s *Solver) AddFormula(f *cnf.Formula) {
+	s.ensureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		s.AddClause(c)
+	}
+}
+
+// AddClause adds a problem clause. It must be called before Solve.
+// Tautologies are dropped, duplicate literals merged; an empty clause makes
+// the problem unsatisfiable.
+func (s *Solver) AddClause(c cnf.Clause) {
+	if !s.ok {
+		return
+	}
+	c = c.Clone()
+	if v := int(c.MaxVar()); v > s.nVars {
+		s.ensureVars(v)
+	}
+	norm, taut := c.Normalize()
+	if taut {
+		return
+	}
+	// Drop literals already false at level 0; detect satisfied clauses.
+	out := norm[:0]
+	for _, l := range norm {
+		switch s.value(l) {
+		case lTrue:
+			return // already satisfied forever
+		case lUndef:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		s.proofEmpty()
+		return
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			s.proofEmpty()
+			return
+		}
+		if confl := s.propagate(); confl != nil {
+			s.ok = false
+			s.proofEmpty()
+		}
+		return
+	}
+	cl := &clause{lits: append([]cnf.Lit(nil), out...)}
+	s.clauses = append(s.clauses, cl)
+	s.attach(cl)
+	s.addOcc(cl)
+}
+
+// attach registers the clause's first two literals in the watch lists.
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watcher{c, c.lits[1]})
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) addOcc(c *clause) {
+	for _, l := range c.lits {
+		s.occ[l] = append(s.occ[l], c)
+	}
+}
+
+// enqueue records the assignment making l true, with the given antecedent.
+// It returns false if l is already false (an immediate conflict).
+func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.vlevel[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// newDecisionLevel opens a new decision level.
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+}
+
+// cancelUntil undoes every assignment above the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		if s.opt.PhaseSaving {
+			s.phase[v] = s.assigns[v]
+		}
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if s.opt.OptimizedGlobalPick {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	if s.qhead > bound {
+		s.qhead = bound
+	}
+}
+
+// liveClauses returns the number of clauses currently held.
+func (s *Solver) liveClauses() int { return len(s.clauses) + len(s.learnts) }
+
+func (s *Solver) notePeak() {
+	if n := s.liveClauses(); n > s.stats.PeakLiveClauses {
+		s.stats.PeakLiveClauses = n
+	}
+}
+
+// Solve runs the CDCL search to completion or until a limit is exceeded.
+// The solver remains usable afterwards: more clauses can be added and
+// Solve (or SolveAssuming) called again, retaining everything learnt.
+func (s *Solver) Solve() Result { return s.solve(nil) }
+
+func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
+	start := time.Now()
+	defer func() {
+		s.cancelUntil(0) // leave the solver reusable (incremental mode)
+		s.stats.Runtime = time.Since(start)
+		res.Stats = s.stats
+	}()
+
+	s.stats.InitialClauses = len(s.clauses)
+	s.notePeak()
+	if s.opt.MaxTime > 0 {
+		s.deadline = start.Add(s.opt.MaxTime)
+	} else {
+		s.deadline = time.Time{}
+	}
+	if !s.ok {
+		return Result{Status: StatusUnsat, Stats: s.stats}
+	}
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			s.sinceRestart++
+			s.sinceAging++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				s.proofEmpty()
+				return Result{Status: StatusUnsat, Stats: s.stats}
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Backtracking below the assumption levels is fine: the decide
+			// loop re-asserts assumptions, and a now-falsified assumption
+			// is detected there (analyzeFinal).
+			s.cancelUntil(btLevel)
+			s.record(learnt)
+			if s.sinceAging >= s.opt.AgingPeriod {
+				s.sinceAging = 0
+				s.age()
+			}
+			if s.limitExceeded() {
+				return Result{Status: StatusUnknown, Stats: s.stats}
+			}
+			if s.opt.Restart != RestartNever && int(s.sinceRestart) >= s.restartLimit {
+				s.restart()
+				if !s.ok {
+					return Result{Status: StatusUnsat, Stats: s.stats}
+				}
+			}
+			continue
+		}
+		if s.limitExceeded() {
+			return Result{Status: StatusUnknown, Stats: s.stats}
+		}
+		// Assert pending assumptions before any free decision.
+		var next cnf.Lit
+		for next == cnf.LitUndef && s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.newDecisionLevel() // dummy level keeps the indexing aligned
+			case lFalse:
+				failed := s.analyzeFinal(p)
+				return Result{Status: StatusUnsat, FailedAssumptions: failed, Stats: s.stats}
+			default:
+				next = p
+			}
+		}
+		if next == cnf.LitUndef {
+			next = s.decide()
+			if next == cnf.LitUndef {
+				model := s.extractModel()
+				return Result{Status: StatusSat, Model: model, Stats: s.stats}
+			}
+		}
+		s.stats.Decisions++
+		s.newDecisionLevel()
+		s.enqueue(next, nil)
+	}
+}
+
+func (s *Solver) limitExceeded() bool {
+	if s.opt.MaxConflicts > 0 && s.stats.Conflicts >= s.opt.MaxConflicts {
+		return true
+	}
+	if s.opt.MaxDecisions > 0 && s.stats.Decisions >= s.opt.MaxDecisions {
+		return true
+	}
+	if !s.deadline.IsZero() && s.stats.Conflicts&0x3FF == 0 {
+		if time.Now().After(s.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// extractModel snapshots the current total assignment.
+func (s *Solver) extractModel() []bool {
+	m := make([]bool, s.nVars+1)
+	for v := 1; v <= s.nVars; v++ {
+		m[v] = s.assigns[v] == lTrue
+	}
+	return m
+}
+
+// Stats returns the statistics collected so far.
+func (s *Solver) Stats() Stats { return s.stats }

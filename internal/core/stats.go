@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// SkinHist is the skin-effect histogram of §6 (Table 3): Counts[r] is the
+// number of times the current top clause — the clause the next branching
+// variable was chosen from — sat at distance r from the top of the
+// conflict-clause stack.
+type SkinHist struct {
+	Counts []uint64
+}
+
+func (h *SkinHist) record(r int) {
+	for len(h.Counts) <= r {
+		h.Counts = append(h.Counts, 0)
+	}
+	h.Counts[r]++
+}
+
+// At returns f(r), the count at distance r (0 if never observed).
+func (h *SkinHist) At(r int) uint64 {
+	if r < 0 || r >= len(h.Counts) {
+		return 0
+	}
+	return h.Counts[r]
+}
+
+// Total returns the total number of top-clause decisions recorded.
+func (h *SkinHist) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Stats aggregates everything the paper's tables report about a run.
+type Stats struct {
+	Decisions    uint64
+	Conflicts    uint64
+	Propagations uint64
+	Restarts     uint64
+
+	// TopClauseDecisions counts decisions made on the current top clause;
+	// GlobalDecisions counts decisions made on the whole formula (all
+	// conflict clauses satisfied). Their split quantifies the skin effect.
+	TopClauseDecisions uint64
+	GlobalDecisions    uint64
+
+	// LearntTotal counts every conflict clause ever deduced, including unit
+	// ones; Table 9's database-size ratio is
+	// (LearntTotal + initial clauses) / initial clauses.
+	LearntTotal   uint64
+	DeletedTotal  uint64 // learnt clauses physically removed by DB management
+	SimplifiedSat uint64 // clauses removed because level-0 assignments satisfy them
+	StrippedLits  uint64 // false literals stripped at level 0
+
+	// InitialClauses is the clause count of the formula as given;
+	// PeakLiveClauses is the largest number of clauses simultaneously held
+	// (Table 9's "largest CNF" ratio numerator).
+	InitialClauses  int
+	PeakLiveClauses int
+
+	// Skin is the f(r) histogram of Table 3.
+	Skin SkinHist
+
+	// Runtime is the wall-clock duration of the Solve call.
+	Runtime time.Duration
+}
+
+// DatabaseRatio returns (conflict clauses ever generated + initial clauses)
+// divided by initial clauses, the "(Database size)/(Initial CNF size)"
+// column of Table 9.
+func (s *Stats) DatabaseRatio() float64 {
+	if s.InitialClauses == 0 {
+		return 0
+	}
+	return float64(s.LearntTotal+uint64(s.InitialClauses)) / float64(s.InitialClauses)
+}
+
+// PeakRatio returns the "(Largest CNF size)/(Initial CNF size)" column of
+// Table 9: the most clauses the solver ever held at once, relative to the
+// input size.
+func (s *Stats) PeakRatio() float64 {
+	if s.InitialClauses == 0 {
+		return 0
+	}
+	return float64(s.PeakLiveClauses) / float64(s.InitialClauses)
+}
+
+// String renders a one-line human-readable summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"decisions=%d conflicts=%d propagations=%d restarts=%d learnt=%d deleted=%d db-ratio=%.2f peak-ratio=%.2f time=%v",
+		s.Decisions, s.Conflicts, s.Propagations, s.Restarts,
+		s.LearntTotal, s.DeletedTotal, s.DatabaseRatio(), s.PeakRatio(), s.Runtime)
+}

@@ -1,0 +1,111 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// propagate performs Boolean constraint propagation with two watched
+// literals per clause (the SATO/Chaff scheme the paper adopts in §2,
+// "our own implementation of this idea of SATO"). It returns the
+// conflicting clause, or nil if a fixed point is reached.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+
+		falsified := p.Not()
+		ws := s.watches[falsified]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			// Blocker: if some cached literal is true the clause is
+			// satisfied and can stay watched as-is.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			lits := c.lits
+			// Make sure the falsified literal sits in slot 1.
+			if lits[0] == falsified {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			// If the other watched literal is true, the clause is
+			// satisfied: keep watching with it as blocker.
+			if first := lits[0]; first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, lits[0]})
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// No replacement: the clause is unit or conflicting.
+			kept = append(kept, watcher{c, lits[0]})
+			if s.value(lits[0]) == lFalse {
+				// Conflict: restore the remaining watchers and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[falsified] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(lits[0], c)
+		}
+		s.watches[falsified] = kept
+	}
+	return nil
+}
+
+// rebuildWatches drops every watch list and re-attaches all clauses.
+// Database management physically removes and shrinks clauses, so the paper's
+// BerkMin "partially or completely recomputes" its data structures after a
+// cleaning (§8); rebuilding wholesale keeps the invariants simple.
+// Must be called at decision level 0 with no pending propagations beyond
+// qhead; clauses of length >= 2 must have two non-false (or
+// level-0-satisfied) literals in slots 0 and 1, which simplification
+// guarantees.
+func (s *Solver) rebuildWatches() {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+}
+
+// rebuildOcc recomputes the problem-clause occurrence lists used by the
+// nb_two cost function (§7).
+func (s *Solver) rebuildOcc() {
+	for i := range s.occ {
+		s.occ[i] = s.occ[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.addOcc(c)
+	}
+}
+
+// litSatisfies reports whether the clause currently has a true literal,
+// using and refreshing the clause's cached satisfying literal.
+func (s *Solver) satisfied(c *clause) bool {
+	if c.satCache != cnf.LitUndef && s.value(c.satCache) == lTrue {
+		return true
+	}
+	for _, l := range c.lits {
+		if s.value(l) == lTrue {
+			c.satCache = l
+			return true
+		}
+	}
+	return false
+}

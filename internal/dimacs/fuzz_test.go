@@ -1,0 +1,35 @@
+package dimacs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the parser with arbitrary input: it must never panic,
+// and whatever parses must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0")
+	f.Add("1 2 0\n-1 0\n")
+	f.Add("p cnf 0 0\n")
+	f.Add("%\n0\n")
+	f.Add("p cnf 2 1\n1 -1 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("write failed on parsed formula: %v", err)
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if h.NumClauses() != g.NumClauses() {
+			t.Fatalf("round trip clause count: %d vs %d", h.NumClauses(), g.NumClauses())
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package dpll provides two deliberately simple complete SAT procedures —
+// a recursive DPLL solver with unit propagation and the pure-literal rule,
+// and a brute-force enumerator — used throughout the test suite as oracles
+// for the CDCL engine. The paper frames modern solvers as descendants of
+// the DPLL algorithm (§1); this package is that ancestor.
+package dpll
+
+import "berkmin/internal/cnf"
+
+// Result of a DPLL run.
+type Result struct {
+	Sat   bool
+	Model cnf.Assignment // valid when Sat; Model[v] is variable v's value
+}
+
+// Solve decides satisfiability with plain DPLL. It is exponential and meant
+// for small formulas (tests, cross-validation); there is no learning, no
+// watched literals and no heuristics beyond first-unassigned branching.
+func Solve(f *cnf.Formula) Result {
+	n := f.NumVars
+	assign := make([]int8, n+1) // 0 unassigned, 1 true, -1 false
+	if !propagate(f, assign) {
+		return Result{}
+	}
+	if solve(f, assign) {
+		model := make(cnf.Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			model[v] = assign[v] == 1
+		}
+		return Result{Sat: true, Model: model}
+	}
+	return Result{}
+}
+
+func litVal(assign []int8, l cnf.Lit) int8 {
+	v := assign[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// propagate applies the unit-clause rule to a fixed point. It returns false
+// on an empty clause.
+func propagate(f *cnf.Formula, assign []int8) bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range f.Clauses {
+			unassigned := cnf.LitUndef
+			count := 0
+			sat := false
+			for _, l := range c {
+				switch litVal(assign, l) {
+				case 1:
+					sat = true
+				case 0:
+					unassigned = l
+					count++
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			if count == 0 {
+				return false
+			}
+			if count == 1 {
+				set(assign, unassigned)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func set(assign []int8, l cnf.Lit) {
+	if l.Neg() {
+		assign[l.Var()] = -1
+	} else {
+		assign[l.Var()] = 1
+	}
+}
+
+func solve(f *cnf.Formula, assign []int8) bool {
+	// Pure-literal elimination.
+	if !pureLiterals(f, assign) {
+		// pureLiterals never fails, but keep the shape uniform.
+		return false
+	}
+	// Pick the first unassigned variable appearing in an unsatisfied clause.
+	v := pickVar(f, assign)
+	if v == 0 {
+		return true // all clauses satisfied
+	}
+	for _, val := range [2]int8{1, -1} {
+		saved := make([]int8, len(assign))
+		copy(saved, assign)
+		assign[v] = val
+		if propagate(f, assign) && solve(f, assign) {
+			return true
+		}
+		copy(assign, saved)
+	}
+	return false
+}
+
+// pickVar returns an unassigned variable from some currently-unsatisfied
+// clause, or 0 if every clause is satisfied.
+func pickVar(f *cnf.Formula, assign []int8) cnf.Var {
+	for _, c := range f.Clauses {
+		sat := false
+		var free cnf.Var
+		for _, l := range c {
+			switch litVal(assign, l) {
+			case 1:
+				sat = true
+			case 0:
+				if free == 0 {
+					free = l.Var()
+				}
+			}
+			if sat {
+				break
+			}
+		}
+		if !sat && free != 0 {
+			return free
+		}
+	}
+	return 0
+}
+
+// pureLiterals assigns variables that occur with a single polarity in the
+// clauses not yet satisfied.
+func pureLiterals(f *cnf.Formula, assign []int8) bool {
+	const (
+		seenPos = 1
+		seenNeg = 2
+	)
+	polarity := make([]uint8, f.NumVars+1)
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if litVal(assign, l) == 1 {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if litVal(assign, l) != 0 {
+				continue
+			}
+			if l.Neg() {
+				polarity[l.Var()] |= seenNeg
+			} else {
+				polarity[l.Var()] |= seenPos
+			}
+		}
+	}
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		if assign[v] != 0 {
+			continue
+		}
+		switch polarity[v] {
+		case seenPos:
+			assign[v] = 1
+		case seenNeg:
+			assign[v] = -1
+		}
+	}
+	return true
+}
+
+// BruteForce enumerates all 2^n assignments (n = f.NumVars, capped at
+// MaxBruteVars) and returns whether any satisfies the formula along with a
+// model. It panics if the formula is too large — tests should keep oracle
+// instances small.
+func BruteForce(f *cnf.Formula) Result {
+	n := f.NumVars
+	if n > MaxBruteVars {
+		panic("dpll.BruteForce: formula too large for exhaustive search")
+	}
+	model := make(cnf.Assignment, n+1)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			model[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if model.Satisfies(f) {
+			out := make(cnf.Assignment, n+1)
+			copy(out, model)
+			return Result{Sat: true, Model: out}
+		}
+	}
+	return Result{}
+}
+
+// CountModels exhaustively counts satisfying assignments (for property
+// tests on encodings). Panics above MaxBruteVars.
+func CountModels(f *cnf.Formula) int {
+	n := f.NumVars
+	if n > MaxBruteVars {
+		panic("dpll.CountModels: formula too large for exhaustive search")
+	}
+	model := make(cnf.Assignment, n+1)
+	count := 0
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			model[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if model.Satisfies(f) {
+			count++
+		}
+	}
+	return count
+}
+
+// MaxBruteVars bounds exhaustive enumeration.
+const MaxBruteVars = 24

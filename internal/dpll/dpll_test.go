@@ -1,0 +1,134 @@
+package dpll
+
+import (
+	"math/rand"
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+func TestTrivial(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(1)
+	r := Solve(f)
+	if !r.Sat || !r.Model[1] {
+		t.Fatal("x1 should be satisfiable with x1=1")
+	}
+	f.AddClause(-1)
+	if Solve(f).Sat {
+		t.Fatal("x1 ∧ ¬x1 is unsatisfiable")
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	if !Solve(cnf.New(3)).Sat {
+		t.Fatal("empty formula is satisfiable")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(cnf.Clause{})
+	if Solve(f).Sat {
+		t.Fatal("empty clause is unsatisfiable")
+	}
+}
+
+func TestChain(t *testing.T) {
+	// x1 ∧ (x1→x2) ∧ ... ∧ (x9→x10)
+	f := cnf.New(10)
+	f.AddClause(1)
+	for i := 1; i < 10; i++ {
+		f.AddClause(-i, i+1)
+	}
+	r := Solve(f)
+	if !r.Sat {
+		t.Fatal("chain is satisfiable")
+	}
+	for v := 1; v <= 10; v++ {
+		if !r.Model[v] {
+			t.Fatalf("x%d should be true", v)
+		}
+	}
+}
+
+func TestSmallUnsat(t *testing.T) {
+	// All 8 combinations over 3 vars forbidden.
+	f := cnf.New(3)
+	for m := 0; m < 8; m++ {
+		c := make(cnf.Clause, 3)
+		for i := 0; i < 3; i++ {
+			c[i] = cnf.MkLit(cnf.Var(i+1), m&(1<<i) != 0)
+		}
+		f.Add(c)
+	}
+	if Solve(f).Sat {
+		t.Fatal("full forbidding is unsatisfiable")
+	}
+	if BruteForce(f).Sat {
+		t.Fatal("brute force disagrees")
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(4*n)
+		f := cnf.New(n)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(n))
+				c = append(c, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			f.Add(c)
+		}
+		want := BruteForce(f)
+		got := Solve(f)
+		if got.Sat != want.Sat {
+			t.Fatalf("iter %d: dpll=%v brute=%v on %v", iter, got.Sat, want.Sat, f.Clauses)
+		}
+		if got.Sat && !got.Model.Satisfies(f) {
+			t.Fatalf("iter %d: dpll model does not satisfy", iter)
+		}
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	// x1 ∨ x2 has 3 models over 2 vars.
+	f := cnf.New(2)
+	f.AddClause(1, 2)
+	if got := CountModels(f); got != 3 {
+		t.Fatalf("CountModels = %d, want 3", got)
+	}
+	// Empty formula over n vars has 2^n models.
+	if got := CountModels(cnf.New(4)); got != 16 {
+		t.Fatalf("CountModels(empty,4) = %d, want 16", got)
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversized formula")
+		}
+	}()
+	BruteForce(cnf.New(MaxBruteVars + 1))
+}
+
+func TestPureLiteralHelps(t *testing.T) {
+	// x3 appears only positively; pure-literal should set it.
+	f := cnf.New(3)
+	f.AddClause(1, 3)
+	f.AddClause(-1, 3)
+	f.AddClause(2, -2, 1) // tautology-ish noise
+	r := Solve(f)
+	if !r.Sat {
+		t.Fatal("should be satisfiable")
+	}
+	if !r.Model.Satisfies(f) {
+		t.Fatal("model check failed")
+	}
+}

@@ -1,0 +1,108 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"berkmin/internal/cnf"
+)
+
+// The Beijing class (§4) is "a hard class consisting of easy CNFs": a mixed
+// bag of arithmetic-circuit and combinatorial instances, each easy for some
+// solver yet tripping up others; all but one are satisfiable. We regenerate
+// the mix from this repository's own families: buggy-adder miters
+// (2bitadd-style arithmetic), queens, planted parity and one unsatisfiable
+// adder-equivalence instance.
+
+// Queens builds the n-queens CNF: one queen per row/column, no two on a
+// diagonal. Satisfiable for n >= 4 (and n = 1).
+func Queens(n int) Instance {
+	b := cnf.NewBuilder()
+	b.Comment("queens: %d", n)
+	q := make([][]cnf.Var, n)
+	for r := range q {
+		q[r] = b.FreshN(n)
+	}
+	for r := 0; r < n; r++ {
+		row := make([]cnf.Lit, n)
+		col := make([]cnf.Lit, n)
+		for c := 0; c < n; c++ {
+			row[c] = cnf.PosLit(q[r][c])
+			col[c] = cnf.PosLit(q[c][r])
+		}
+		b.ExactlyOne(row...)
+		b.AtMostOne(col...)
+		b.Clause(col...) // exactly one per column too
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			for d := 1; r+d < n; d++ {
+				if c+d < n {
+					b.Clause(cnf.NegLit(q[r][c]), cnf.NegLit(q[r+d][c+d]))
+				}
+				if c-d >= 0 {
+					b.Clause(cnf.NegLit(q[r][c]), cnf.NegLit(q[r+d][c-d]))
+				}
+			}
+		}
+	}
+	exp := ExpSat
+	if n == 2 || n == 3 {
+		exp = ExpUnsat
+	}
+	return mkInstance("queens", fmt.Sprintf("queens%d", n), b.Formula(), exp)
+}
+
+// RandomKSat builds a uniform random k-SAT formula. Near the threshold
+// ratio (~4.26 for 3-SAT) instances are hard; well below it they are
+// almost surely satisfiable. Expected status is unknown.
+func RandomKSat(vars, clauses, k int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := cnf.NewBuilder()
+	b.Comment("random %d-sat: %d vars, %d clauses, seed %d", k, vars, clauses, seed)
+	b.Reserve(vars)
+	for i := 0; i < clauses; i++ {
+		seen := make(map[int]bool, k)
+		lits := make([]cnf.Lit, 0, k)
+		for len(lits) < k {
+			v := 1 + rng.Intn(vars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, cnf.MkLit(cnf.Var(v), rng.Intn(2) == 0))
+		}
+		b.Clause(lits...)
+	}
+	return mkInstance("random", fmt.Sprintf("rnd%d_%d_%d", k, vars, seed), b.Formula(), ExpUnknown)
+}
+
+// BeijingSuite assembles the class: mostly satisfiable mixed instances
+// plus exactly one unsatisfiable member, mirroring the paper's description
+// ("all satisfiable except one CNF").
+func BeijingSuite(seed int64) []Instance {
+	var out []Instance
+	// 2bitadd-style: buggy adder miters (SAT).
+	for i := 0; i < 4; i++ {
+		inst := BuggyAdderMiter(6+i, seed+int64(i))
+		inst.Family = "beijing"
+		out = append(out, inst)
+	}
+	// queens (SAT).
+	for _, n := range []int{8, 10, 12} {
+		inst := Queens(n)
+		inst.Family = "beijing"
+		out = append(out, inst)
+	}
+	// planted parity chains (SAT).
+	for i := 0; i < 4; i++ {
+		inst := Parity(40+8*i, 44+8*i, seed+100+int64(i))
+		inst.Family = "beijing"
+		out = append(out, inst)
+	}
+	// The single unsatisfiable member: an adder-equivalence miter.
+	inst := AdderMiter(7, 0)
+	inst.Family = "beijing"
+	out = append(out, inst)
+	return out
+}

@@ -1,0 +1,244 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"berkmin/internal/cnf"
+)
+
+// Blocksworld builds a SATPLAN-style linear-encoding blocks-world planning
+// instance, the shape of the paper's Blocksworld class (bw_large.*): random
+// initial and goal tower configurations over the given number of blocks,
+// a horizon of steps actions, one action (or no-op) per step.
+//
+// Fluents: on(x,y,t) for y a block or the table; clear(x,t) derived by
+// biconditional. Actions: move(x,y,z,t) with explicit source. The horizon
+// defaults to 2·blocks when steps <= 0, which always suffices (unstack
+// everything, rebuild), so instances are satisfiable by construction.
+func Blocksworld(blocks, steps int, seed int64) Instance {
+	if steps <= 0 {
+		steps = 2 * blocks
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := blocks
+	table := n // destination index for the table
+
+	b := cnf.NewBuilder()
+	b.Comment("blocksworld: %d blocks, horizon %d, seed %d", n, steps, seed)
+
+	// on[x][y][t]: block x directly on y (y==table for the table).
+	on := make([][][]cnf.Var, n)
+	for x := range on {
+		on[x] = make([][]cnf.Var, n+1)
+		for y := range on[x] {
+			if y == x {
+				continue
+			}
+			on[x][y] = b.FreshN(steps + 1)
+		}
+	}
+	// clear[x][t]: nothing sits on block x.
+	clear := make([][]cnf.Var, n)
+	for x := range clear {
+		clear[x] = b.FreshN(steps + 1)
+	}
+	// mv[x][y][z][t]: move x from y to z (y,z block-or-table, all distinct from x).
+	mv := make([][][][]cnf.Var, n)
+	for x := range mv {
+		mv[x] = make([][][]cnf.Var, n+1)
+		for y := range mv[x] {
+			if y == x {
+				continue
+			}
+			mv[x][y] = make([][]cnf.Var, n+1)
+			for z := range mv[x][y] {
+				if z == x || z == y {
+					continue
+				}
+				mv[x][y][z] = b.FreshN(steps)
+			}
+		}
+	}
+	noop := b.FreshN(steps)
+
+	lit := func(v cnf.Var, neg bool) cnf.Lit { return cnf.MkLit(v, neg) }
+	_ = lit
+
+	// State consistency at every time step.
+	for t := 0; t <= steps; t++ {
+		// Each block is on exactly one thing.
+		for x := 0; x < n; x++ {
+			var opts []cnf.Lit
+			for y := 0; y <= n; y++ {
+				if y == x {
+					continue
+				}
+				opts = append(opts, cnf.PosLit(on[x][y][t]))
+			}
+			b.ExactlyOneLadder(opts...)
+		}
+		// At most one block directly on any block.
+		for y := 0; y < n; y++ {
+			var here []cnf.Lit
+			for x := 0; x < n; x++ {
+				if x == y {
+					continue
+				}
+				here = append(here, cnf.PosLit(on[x][y][t]))
+			}
+			b.AtMostOneLadder(here...)
+			// clear(y) ↔ nothing on y.
+			for x := 0; x < n; x++ {
+				if x == y {
+					continue
+				}
+				b.Clause(cnf.NegLit(clear[y][t]), cnf.NegLit(on[x][y][t]))
+			}
+			cl := []cnf.Lit{cnf.PosLit(clear[y][t])}
+			for x := 0; x < n; x++ {
+				if x == y {
+					continue
+				}
+				cl = append(cl, cnf.PosLit(on[x][y][t]))
+			}
+			b.Clause(cl...)
+		}
+	}
+
+	// Exactly one action (possibly no-op) per step; preconditions/effects.
+	for t := 0; t < steps; t++ {
+		acts := []cnf.Lit{cnf.PosLit(noop[t])}
+		for x := 0; x < n; x++ {
+			for y := 0; y <= n; y++ {
+				if y == x {
+					continue
+				}
+				for z := 0; z <= n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					m := cnf.PosLit(mv[x][y][z][t])
+					acts = append(acts, m)
+					b.Implies(m, cnf.PosLit(on[x][y][t])) // source
+					b.Implies(m, cnf.PosLit(clear[x][t])) // x is free
+					if z != table {
+						b.Implies(m, cnf.PosLit(clear[z][t])) // target is free
+					}
+					b.Implies(m, cnf.PosLit(on[x][z][t+1])) // effect
+					b.Implies(m, cnf.NegLit(on[x][y][t+1])) // leaves source
+				}
+			}
+		}
+		b.ExactlyOneLadder(acts...)
+	}
+
+	// Explanatory frame axioms: on(x,y) changes only via a move of x.
+	for x := 0; x < n; x++ {
+		for y := 0; y <= n; y++ {
+			if y == x {
+				continue
+			}
+			for t := 0; t < steps; t++ {
+				// x leaves y → some move of x from y
+				cl := []cnf.Lit{cnf.NegLit(on[x][y][t]), cnf.PosLit(on[x][y][t+1])}
+				for z := 0; z <= n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					cl = append(cl, cnf.PosLit(mv[x][y][z][t]))
+				}
+				b.Clause(cl...)
+				// x arrives at y → some move of x to y
+				cl = []cnf.Lit{cnf.PosLit(on[x][y][t]), cnf.NegLit(on[x][y][t+1])}
+				for z := 0; z <= n; z++ {
+					if z == x || z == y {
+						continue
+					}
+					cl = append(cl, cnf.PosLit(mv[x][z][y][t]))
+				}
+				b.Clause(cl...)
+			}
+		}
+	}
+
+	// Initial and goal states: random stackings.
+	init := randomStacking(rng, n)
+	goal := randomStacking(rng, n)
+	for x := 0; x < n; x++ {
+		b.Unit(cnf.PosLit(on[x][init[x]][0]))
+		b.Unit(cnf.PosLit(on[x][goal[x]][steps]))
+	}
+
+	return mkInstance("blocksworld",
+		fmt.Sprintf("bw%d_%d_%d", n, steps, seed), b.Formula(), ExpSat)
+}
+
+// BlocksworldMove is one decoded plan step: block Block moves from From
+// to To, where a value equal to the block count denotes the table. Noop
+// steps are omitted.
+type BlocksworldMove struct {
+	Block, From, To, Step int
+}
+
+// BlocksworldPlan decodes a model of Blocksworld(blocks, steps, seed) into
+// the move sequence. It relies on the generator's variable allocation
+// order (on fluents, then clear fluents, then move actions, then noops).
+func BlocksworldPlan(blocks, steps int, model []bool) []BlocksworldMove {
+	if steps <= 0 {
+		steps = 2 * blocks
+	}
+	n := blocks
+	// Variable layout mirrors Blocksworld: on[x][y] blocks of (steps+1)
+	// vars for y != x, then clear[x], then mv[x][y][z] blocks of steps.
+	onCount := n * n * (steps + 1) // each x has n choices of y (n+1 minus itself)
+	clearCount := n * (steps + 1)
+	idx := onCount + clearCount + 1 // 1-based variables
+	var plan []BlocksworldMove
+	for x := 0; x < n; x++ {
+		for y := 0; y <= n; y++ {
+			if y == x {
+				continue
+			}
+			for z := 0; z <= n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				for t := 0; t < steps; t++ {
+					if idx < len(model) && model[idx] {
+						plan = append(plan, BlocksworldMove{Block: x, From: y, To: z, Step: t})
+					}
+					idx++
+				}
+			}
+		}
+	}
+	sortMoves(plan)
+	return plan
+}
+
+func sortMoves(plan []BlocksworldMove) {
+	for i := 1; i < len(plan); i++ {
+		for j := i; j > 0 && plan[j].Step < plan[j-1].Step; j-- {
+			plan[j], plan[j-1] = plan[j-1], plan[j]
+		}
+	}
+}
+
+// randomStacking returns support[x] = what block x sits on (table = n),
+// drawn as a uniform random forest of towers.
+func randomStacking(rng *rand.Rand, n int) []int {
+	support := make([]int, n)
+	// Shuffle blocks, then split into towers.
+	order := rng.Perm(n)
+	prev := -1
+	for _, x := range order {
+		if prev == -1 || rng.Intn(3) == 0 { // start a new tower
+			support[x] = n
+		} else {
+			support[x] = prev
+		}
+		prev = x
+	}
+	return support
+}

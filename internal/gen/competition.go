@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/circuit"
+	"berkmin/internal/cnf"
+)
+
+// This file regenerates the shape of the SAT-2002 second-stage industrial
+// families of Table 10. Most of those instances are bounded-model-checking
+// unrollings or combinational miters; each generator below mirrors one
+// family:
+//
+//	bmc2/cnt    -> counter BMC that reaches its target (SAT)
+//	comb        -> multiplier miters (UNSAT)
+//	dinphil     -> dining-philosophers deadlock encoding (UNSAT at the safe horizon)
+//	f2clk       -> two-phase-clocked counter BMC (UNSAT)
+//	fifo        -> safe FIFO controllers, deep unrollings (UNSAT)
+//	ip          -> safe arbiter protocol, deep unrollings (UNSAT)
+//	satex       -> buggy FIFO unrollings (SAT)
+//	w08         -> buggy arbiter unrollings (SAT)
+
+// CompetitionCounterSat unrolls an n-bit counter far enough to reach its
+// target value: satisfiable, like cnt10 of the bmc2 family.
+func CompetitionCounterSat(bits int, target uint64) Instance {
+	sc := circuit.Counter(bits, target)
+	f, err := sc.Unroll(int(target))
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("bmc2", fmt.Sprintf("cnt%d", bits), f, ExpSat)
+}
+
+// CompetitionComb builds comb2/comb3-style multiplier miters (UNSAT).
+func CompetitionComb(n int, seed int64) Instance {
+	inst := MultiplierMiter(n, seed)
+	inst.Name = fmt.Sprintf("comb_mult%d", n)
+	return inst
+}
+
+// CompetitionDinphil encodes an n-philosopher dining table over `steps`
+// rounds: fork i is held each round by one of its two neighbours, a
+// philosopher eats exactly when holding both adjacent forks, and every
+// philosopher must eat in at least one round. Eaters in a round form an
+// independent set of the ring, so at most ⌊n/2⌋ philosophers eat per
+// round; with steps·⌊n/2⌋ < n the formula is unsatisfiable (the dp*u*
+// style), and proving it requires the solver to derive the ring's counting
+// bound — a pigeonhole-flavoured argument, not a unit-propagation one.
+func CompetitionDinphil(n, steps int) Instance {
+	b := cnf.NewBuilder()
+	b.Comment("dinphil: %d philosophers, %d rounds", n, steps)
+	// fork[i][t]: fork i held by philosopher i (true) or i+1 mod n (false).
+	fork := make([][]cnf.Var, n)
+	for i := range fork {
+		fork[i] = b.FreshN(steps)
+	}
+	// eat[i][t] ↔ fork[i][t] ∧ ¬fork[(i-1+n)%n][t]: philosopher i holds its
+	// right fork i and its left fork i-1 (held by its left neighbour when
+	// the flag is true).
+	eat := make([][]cnf.Var, n)
+	for i := range eat {
+		eat[i] = b.FreshN(steps)
+	}
+	for t := 0; t < steps; t++ {
+		for i := 0; i < n; i++ {
+			right := cnf.PosLit(fork[i][t])
+			left := cnf.NegLit(fork[(i-1+n)%n][t])
+			e := cnf.PosLit(eat[i][t])
+			b.Implies(e, right)
+			b.Implies(e, left)
+			b.Clause(e, right.Not(), left.Not())
+		}
+	}
+	// Liveness: every philosopher eats in some round.
+	for i := 0; i < n; i++ {
+		cl := make([]cnf.Lit, steps)
+		for t := 0; t < steps; t++ {
+			cl[t] = cnf.PosLit(eat[i][t])
+		}
+		b.Clause(cl...)
+	}
+	exp := ExpSat
+	if steps*(n/2) < n {
+		exp = ExpUnsat
+	}
+	return mkInstance("dinphil", fmt.Sprintf("dp%du%d", n, steps), b.Formula(), exp)
+}
+
+// CompetitionF2clk unrolls a counter whose target lies beyond the horizon:
+// the f2clk_40-style UNSAT instance (proving the count is unreachable
+// requires reasoning through every frame).
+func CompetitionF2clk(bits, horizon int) Instance {
+	sc := circuit.Counter(bits, uint64(horizon)+2)
+	f, err := sc.Unroll(horizon)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("f2clk", fmt.Sprintf("f2clk_%d", horizon), f, ExpUnsat)
+}
+
+// CompetitionFifo unrolls a safe FIFO controller `depth` steps: UNSAT,
+// like fifo8_300/fifo8_400 (scaled).
+func CompetitionFifo(ptrBits, depth int) Instance {
+	sc := circuit.FIFO(ptrBits, false)
+	f, err := sc.Unroll(depth)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("fifo", fmt.Sprintf("fifo%d_%d", 1<<uint(ptrBits), depth), f, ExpUnsat)
+}
+
+// CompetitionIP unrolls the safe round-robin arbiter: UNSAT, like the
+// ip36/ip38/ip50 interconnect-protocol family (scaled).
+func CompetitionIP(depth int) Instance {
+	sc := circuit.Arbiter(false)
+	f, err := sc.Unroll(depth)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("ip", fmt.Sprintf("ip%d", depth), f, ExpUnsat)
+}
+
+// CompetitionSatex unrolls the buggy FIFO deep enough to expose the
+// overflow: SAT, like the satex-challenges instances.
+func CompetitionSatex(ptrBits int) Instance {
+	sc := circuit.FIFO(ptrBits, true)
+	depth := int(1<<uint(ptrBits)) + 2
+	f, err := sc.Unroll(depth)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("satex", fmt.Sprintf("cnf-fifo%d-comp", 1<<uint(ptrBits)), f, ExpSat)
+}
+
+// CompetitionW08 unrolls the buggy arbiter: SAT, like w08_14/w08_15.
+func CompetitionW08(depth int) Instance {
+	sc := circuit.Arbiter(true)
+	f, err := sc.Unroll(depth)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("w08", fmt.Sprintf("w08_%d", depth), f, ExpSat)
+}
+
+// CompetitionSuite assembles the Table 10 set (scaled to this harness).
+func CompetitionSuite(seed int64) []Instance {
+	return []Instance{
+		CompetitionCounterSat(8, 40),
+		CompetitionComb(4, seed),
+		CompetitionComb(5, seed+1),
+		CompetitionDinphil(11, 2),
+		CompetitionF2clk(6, 40),
+		CompetitionFifo(3, 30),
+		CompetitionFifo(3, 40),
+		PipeUnsat(5, 6, seed+2),
+		PipeUnsat(6, 6, seed+3),
+		CompetitionIP(36),
+		CompetitionIP(50),
+		CompetitionSatex(3),
+		CompetitionW08(14),
+		CompetitionW08(15),
+		VliwSat(4, 8, seed+4),
+	}
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/circuit"
+)
+
+// GatedConeMiter builds the Figure 1 situation as a concrete instance: a
+// deep cone of logic feeds the left pin of an AND gate whose right pin is a
+// control input. While the control is 0 the cone's variables are irrelevant
+// ("idle"); once it is 1 they dominate the conflicts. The instance miters
+// the gated design against its rewrite (UNSAT); it exists to exercise the
+// decision-mobility machinery the paper motivates with that figure.
+func GatedConeMiter(coneInputs, coneGates int, seed int64) Instance {
+	c := circuit.New()
+	control := c.AddInput("control")
+	cone := circuit.Random(circuit.RandomOptions{
+		Inputs:   coneInputs,
+		Gates:    coneGates,
+		Outputs:  1,
+		MaxFanin: 3,
+		Seed:     seed,
+	})
+	// Stamp the cone into c.
+	m := make([]circuit.Signal, cone.NumGates())
+	m[0] = c.False()
+	pi := 0
+	for i := 1; i < cone.NumGates(); i++ {
+		g := cone.Gates[i]
+		if g.Op == circuit.Input {
+			m[i] = c.AddInput(fmt.Sprintf("c%d", pi))
+			pi++
+			continue
+		}
+		in := make([]circuit.Signal, len(g.In))
+		for j, s := range g.In {
+			t := m[s.Gate()]
+			if s.Inverted() {
+				t = t.Invert()
+			}
+			in[j] = t
+		}
+		switch g.Op {
+		case circuit.And:
+			m[i] = c.AndGate(in...)
+		case circuit.Or:
+			m[i] = c.OrGate(in...)
+		case circuit.Nand:
+			m[i] = c.NandGate(in...)
+		case circuit.Nor:
+			m[i] = c.NorGate(in...)
+		case circuit.Xor:
+			m[i] = c.XorGate(in...)
+		case circuit.Xnor:
+			m[i] = c.XnorGate(in...)
+		case circuit.Buf:
+			m[i] = c.BufGate(in[0])
+		case circuit.Not:
+			m[i] = in[0].Invert()
+		}
+	}
+	coneOut := m[cone.POs[0].Gate()]
+	if cone.POs[0].Inverted() {
+		coneOut = coneOut.Invert()
+	}
+	c.AddOutput("gated", c.AndGate(coneOut, control))
+
+	r := circuit.Rewrite(c, seed+5)
+	f, err := circuit.Miter(c, r)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("cone", fmt.Sprintf("cone%d_%d", coneInputs, coneGates), f, ExpUnsat)
+}

@@ -1,0 +1,372 @@
+package gen
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+)
+
+// check solves the instance and verifies the generator's declared status;
+// for SAT results the model is verified against the formula.
+func check(t *testing.T, inst Instance) core.Result {
+	t.Helper()
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(inst.Formula)
+	r := s.Solve()
+	switch inst.Expected {
+	case ExpSat:
+		if r.Status != core.StatusSat {
+			t.Fatalf("%s: got %v, want SAT", inst.Name, r.Status)
+		}
+	case ExpUnsat:
+		if r.Status != core.StatusUnsat {
+			t.Fatalf("%s: got %v, want UNSAT", inst.Name, r.Status)
+		}
+	}
+	if r.Status == core.StatusSat {
+		if !cnf.Assignment(r.Model).Satisfies(inst.Formula) {
+			t.Fatalf("%s: model does not satisfy", inst.Name)
+		}
+	}
+	return r
+}
+
+func TestPigeonhole(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		inst := Pigeonhole(n)
+		vars, clauses, _ := inst.Formula.Stats()
+		if vars != n*(n+1) {
+			t.Fatalf("hole%d: vars = %d", n, vars)
+		}
+		if clauses != (n+1)+n*(n+1)*n/2 {
+			t.Fatalf("hole%d: clauses = %d", n, clauses)
+		}
+		check(t, inst)
+	}
+}
+
+func TestHoleSuite(t *testing.T) {
+	suite := HoleSuite(3, 3)
+	if len(suite) != 3 || suite[0].Name != "hole3" || suite[2].Name != "hole5" {
+		t.Fatalf("suite = %v", suite)
+	}
+}
+
+func TestParityPlantedSat(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst := Parity(24, 30, seed)
+		check(t, inst)
+	}
+}
+
+func TestParityXor3Encoding(t *testing.T) {
+	// Verify the 4-clause XOR gadget by exhaustive model counting:
+	// x⊕y⊕z = 1 has exactly 4 models over 3 vars.
+	b := cnf.NewBuilder()
+	vs := b.FreshN(3)
+	addXor3(b, vs[0], vs[1], vs[2], true)
+	if got := dpll.CountModels(b.Formula()); got != 4 {
+		t.Fatalf("xor3 models = %d, want 4", got)
+	}
+	b = cnf.NewBuilder()
+	vs = b.FreshN(3)
+	addXor3(b, vs[0], vs[1], vs[2], false)
+	if got := dpll.CountModels(b.Formula()); got != 4 {
+		t.Fatalf("xnor3 models = %d, want 4", got)
+	}
+}
+
+func TestHanoiSmall(t *testing.T) {
+	for disks := 2; disks <= 3; disks++ {
+		inst := Hanoi(disks)
+		r := check(t, inst)
+		// Decode the plan and simulate it.
+		plan := HanoiPlan(disks, r.Model)
+		steps := 1<<uint(disks) - 1
+		if len(plan) != steps {
+			t.Fatalf("hanoi%d: plan has %d moves, want %d", disks, len(plan), steps)
+		}
+		pos := make([]int, disks) // all on peg 0
+		for i, mv := range plan {
+			if pos[mv.Disk] != mv.From {
+				t.Fatalf("hanoi%d move %d: disk %d is on %d, not %d",
+					disks, i, mv.Disk, pos[mv.Disk], mv.From)
+			}
+			// No smaller disk on source or destination.
+			for sm := 0; sm < mv.Disk; sm++ {
+				if pos[sm] == mv.From || pos[sm] == mv.To {
+					t.Fatalf("hanoi%d move %d: smaller disk %d blocks", disks, i, sm)
+				}
+			}
+			pos[mv.Disk] = mv.To
+		}
+		for d := 0; d < disks; d++ {
+			if pos[d] != 2 {
+				t.Fatalf("hanoi%d: disk %d ends on %d", disks, d, pos[d])
+			}
+		}
+	}
+}
+
+func TestHanoi4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hanoi4 takes a moment")
+	}
+	check(t, Hanoi(4))
+}
+
+func TestBlocksworld(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		inst := Blocksworld(4, 0, seed)
+		check(t, inst)
+	}
+}
+
+func TestBlocksworldCustomHorizon(t *testing.T) {
+	inst := Blocksworld(3, 6, 9)
+	check(t, inst)
+}
+
+// TestBlocksworldPlanDecodes solves an instance, decodes the plan and
+// replays it against blocks-world semantics: sources must match, moved
+// blocks and targets must be clear.
+func TestBlocksworldPlanDecodes(t *testing.T) {
+	const blocks, seed = 4, 2
+	steps := 2 * blocks
+	inst := Blocksworld(blocks, steps, seed)
+	r := check(t, inst)
+	plan := BlocksworldPlan(blocks, steps, r.Model)
+
+	// Recover the initial stacking from the model's on(x,y,0) fluents.
+	// Layout: on[x][y] allocated for y != x, each a block of steps+1 vars.
+	support := make([]int, blocks)
+	idx := 1
+	for x := 0; x < blocks; x++ {
+		for y := 0; y <= blocks; y++ {
+			if y == x {
+				continue
+			}
+			if r.Model[idx] { // on(x,y,t=0)
+				support[x] = y
+			}
+			idx += steps + 1
+		}
+	}
+	// Skip clear fluents; replay the plan.
+	onTop := func(y int) int { // block sitting on y, or -1
+		for x := 0; x < blocks; x++ {
+			if support[x] == y {
+				return x
+			}
+		}
+		return -1
+	}
+	for _, mv := range plan {
+		if support[mv.Block] != mv.From {
+			t.Fatalf("step %d: block %d on %d, move claims %d",
+				mv.Step, mv.Block, support[mv.Block], mv.From)
+		}
+		if onTop(mv.Block) != -1 {
+			t.Fatalf("step %d: block %d is not clear", mv.Step, mv.Block)
+		}
+		if mv.To != blocks && onTop(mv.To) != -1 {
+			t.Fatalf("step %d: target %d is not clear", mv.Step, mv.To)
+		}
+		support[mv.Block] = mv.To
+	}
+}
+
+func TestQueens(t *testing.T) {
+	for _, n := range []int{4, 5, 6, 8} {
+		check(t, Queens(n))
+	}
+	// 3-queens is unsatisfiable.
+	check(t, Queens(3))
+}
+
+func TestRandomKSat(t *testing.T) {
+	inst := RandomKSat(20, 40, 3, 5)
+	vars, clauses, lits := inst.Formula.Stats()
+	if vars != 20 || clauses != 40 || lits != 120 {
+		t.Fatalf("random ksat stats: %d %d %d", vars, clauses, lits)
+	}
+	// Low density: should be satisfiable; verify against DPLL.
+	want := dpll.Solve(inst.Formula).Sat
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(inst.Formula)
+	r := s.Solve()
+	if (r.Status == core.StatusSat) != want {
+		t.Fatalf("solver disagrees with dpll")
+	}
+}
+
+func TestMiterUnsatInstances(t *testing.T) {
+	check(t, MiterUnsat(8, 30, 3))
+	check(t, MiterUnsat(10, 50, 4))
+}
+
+func TestMiterSatInstances(t *testing.T) {
+	check(t, MiterSat(8, 30, 5))
+}
+
+func TestMiterSuiteShape(t *testing.T) {
+	suite := MiterSuite(3, 40, 11)
+	if len(suite) != 3 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for _, inst := range suite {
+		if inst.Family != "miters" || inst.Expected != ExpUnsat {
+			t.Fatalf("bad suite member %+v", inst.Name)
+		}
+	}
+	check(t, suite[0])
+}
+
+func TestAdderMiters(t *testing.T) {
+	check(t, AdderMiter(4, 0))
+	check(t, AdderMiter(4, 1))
+	check(t, BuggyAdderMiter(4, 2))
+}
+
+func TestMultiplierMiter(t *testing.T) {
+	check(t, MultiplierMiter(3, 7))
+}
+
+func TestPipelineVerification(t *testing.T) {
+	check(t, PipelineVerification(2, 3, false, 21))
+	check(t, PipelineVerification(2, 3, true, 22))
+}
+
+func TestPipeUnsat(t *testing.T) {
+	check(t, PipeUnsat(2, 3, 31))
+}
+
+func TestVliwSat(t *testing.T) {
+	check(t, VliwSat(2, 4, 41))
+}
+
+func TestSuiteGenerators(t *testing.T) {
+	if got := len(SssSuite(3, 2, 3, 1)); got != 3 {
+		t.Fatalf("sss suite = %d", got)
+	}
+	if got := len(SssSatSuite(2, 2, 3, 1)); got != 2 {
+		t.Fatalf("ssssat suite = %d", got)
+	}
+	if got := len(FvpUnsatSuite(2, 4, 3, 1)); got != 3 {
+		t.Fatalf("fvp suite = %d", got)
+	}
+	if got := len(VliwSatSuite(2, 2, 4, 1)); got != 2 {
+		t.Fatalf("vliw suite = %d", got)
+	}
+	if got := len(ParitySuite(20, 24, 4, 1)); got != 4 {
+		t.Fatalf("parity suite = %d", got)
+	}
+}
+
+func TestBeijingSuite(t *testing.T) {
+	suite := BeijingSuite(3)
+	unsat := 0
+	for _, inst := range suite {
+		if inst.Family != "beijing" {
+			t.Fatalf("family = %s", inst.Family)
+		}
+		if inst.Expected == ExpUnsat {
+			unsat++
+		}
+	}
+	if unsat != 1 {
+		t.Fatalf("beijing must have exactly one UNSAT member, got %d", unsat)
+	}
+	// Solve a few members.
+	check(t, suite[0])
+	check(t, suite[4])
+}
+
+func TestDinphil(t *testing.T) {
+	// 11 philosophers cannot all eat within 2 rounds (2·5 < 11): UNSAT.
+	inst := CompetitionDinphil(11, 2)
+	if inst.Expected != ExpUnsat {
+		t.Fatal("dp11u2 should be declared UNSAT")
+	}
+	check(t, inst)
+	// Three rounds suffice (odd ring is 3-colorable): SAT.
+	inst = CompetitionDinphil(11, 3)
+	if inst.Expected != ExpSat {
+		t.Fatal("dp11u3 should be declared SAT")
+	}
+	check(t, inst)
+	// Even ring: two rounds suffice.
+	inst = CompetitionDinphil(8, 2)
+	if inst.Expected != ExpSat {
+		t.Fatal("dp8u2 should be declared SAT")
+	}
+	check(t, inst)
+}
+
+func TestCompetitionBMCInstances(t *testing.T) {
+	check(t, CompetitionCounterSat(5, 10))
+	check(t, CompetitionF2clk(5, 12))
+	check(t, CompetitionFifo(2, 10))
+	check(t, CompetitionIP(12))
+	check(t, CompetitionSatex(2))
+	check(t, CompetitionW08(6))
+}
+
+func TestCompetitionSuiteShape(t *testing.T) {
+	suite := CompetitionSuite(1)
+	if len(suite) != 15 {
+		t.Fatalf("competition suite = %d members", len(suite))
+	}
+	sat, unsat := 0, 0
+	for _, inst := range suite {
+		switch inst.Expected {
+		case ExpSat:
+			sat++
+		case ExpUnsat:
+			unsat++
+		default:
+			t.Fatalf("%s has unknown expected status", inst.Name)
+		}
+	}
+	if sat < 4 || unsat < 8 {
+		t.Fatalf("suite balance: %d sat, %d unsat", sat, unsat)
+	}
+}
+
+// TestConeMobility exercises the Figure 1 situation: the gated-cone miter
+// is unsatisfiable and both the mobile (BerkMin) and non-mobile
+// (Less_mobility) configurations must prove it; the mobile configuration
+// makes most of its decisions on the conflict-clause stack.
+func TestConeMobility(t *testing.T) {
+	inst := GatedConeMiter(8, 40, 13)
+	r := check(t, inst)
+	if r.Stats.TopClauseDecisions == 0 {
+		t.Fatal("expected top-clause decisions on the cone miter")
+	}
+	s := core.New(core.LessMobilityOptions())
+	s.AddFormula(inst.Formula)
+	if r2 := s.Solve(); r2.Status != core.StatusUnsat {
+		t.Fatalf("less-mobility on cone: %v", r2.Status)
+	}
+}
+
+func TestExpectedString(t *testing.T) {
+	if ExpSat.String() != "sat" || ExpUnsat.String() != "unsat" || ExpUnknown.String() != "unknown" {
+		t.Fatal("Expected.String broken")
+	}
+}
+
+func TestInstanceComments(t *testing.T) {
+	inst := Pigeonhole(3)
+	found := false
+	for _, c := range inst.Formula.Comments {
+		if c == "family=hole name=hole3 expected=unsat" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("provenance comment missing: %v", inst.Formula.Comments)
+	}
+}

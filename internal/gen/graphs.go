@@ -1,0 +1,174 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"berkmin/internal/cnf"
+)
+
+// GraphColoring builds a k-coloring CNF for a random graph. With planted
+// true, edges are only added between vertices of different colors under a
+// hidden assignment, so the instance is satisfiable by construction; with
+// planted false a clique of size k+1 is embedded first, making the
+// instance unsatisfiable. Flat graph-coloring instances were a staple of
+// the DIMACS-era benchmark suites alongside the classes the paper uses.
+func GraphColoring(vertices, colors int, density float64, planted bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := cnf.NewBuilder()
+	b.Comment("coloring: %d vertices, %d colors, planted=%v, seed %d",
+		vertices, colors, planted, seed)
+
+	// v[i][c]: vertex i has color c.
+	v := make([][]cnf.Var, vertices)
+	for i := range v {
+		v[i] = b.FreshN(colors)
+	}
+	for i := 0; i < vertices; i++ {
+		opts := make([]cnf.Lit, colors)
+		for c := 0; c < colors; c++ {
+			opts[c] = cnf.PosLit(v[i][c])
+		}
+		b.ExactlyOne(opts...)
+	}
+	edge := func(x, y int) {
+		for c := 0; c < colors; c++ {
+			b.Clause(cnf.NegLit(v[x][c]), cnf.NegLit(v[y][c]))
+		}
+	}
+
+	exp := ExpSat
+	if planted {
+		hidden := make([]int, vertices)
+		for i := range hidden {
+			hidden[i] = rng.Intn(colors)
+		}
+		for i := 0; i < vertices; i++ {
+			for j := i + 1; j < vertices; j++ {
+				if hidden[i] != hidden[j] && rng.Float64() < density {
+					edge(i, j)
+				}
+			}
+		}
+	} else {
+		// Embed a (colors+1)-clique: no k-coloring exists.
+		clique := rng.Perm(vertices)[:colors+1]
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				edge(clique[i], clique[j])
+			}
+		}
+		for i := 0; i < vertices; i++ {
+			for j := i + 1; j < vertices; j++ {
+				if rng.Float64() < density {
+					edge(i, j)
+				}
+			}
+		}
+		exp = ExpUnsat
+	}
+	name := fmt.Sprintf("color%d_%d_%d", vertices, colors, seed)
+	if !planted {
+		name = "u" + name
+	}
+	return mkInstance("coloring", name, b.Formula(), exp)
+}
+
+// TseitinGraph builds an Urquhart-style Tseitin formula over a 4-regular
+// torus grid: every edge is a variable, every vertex constrains the XOR
+// of its incident edges to its charge. The formula is satisfiable iff the
+// total charge is even; with a single odd vertex it is unsatisfiable and
+// requires exponentially long resolution proofs — the canonical hard
+// UNSAT family beyond pigeonhole.
+func TseitinGraph(side int, odd bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := cnf.NewBuilder()
+	b.Comment("tseitin: %dx%d torus, odd=%v, seed %d", side, side, odd, seed)
+
+	n := side * side
+	vertexOf := func(r, c int) int { return ((r+side)%side)*side + (c+side)%side }
+	// Edges: right and down from every vertex (torus wraps).
+	type edgeKey struct{ a, b int }
+	edgeVar := map[edgeKey]cnf.Var{}
+	mk := func(a, bb int) cnf.Var {
+		if a > bb {
+			a, bb = bb, a
+		}
+		k := edgeKey{a, bb}
+		if v, ok := edgeVar[k]; ok {
+			return v
+		}
+		v := b.Fresh()
+		edgeVar[k] = v
+		return v
+	}
+	incident := make([][]cnf.Var, n)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			u := vertexOf(r, c)
+			for _, w := range []int{vertexOf(r, c+1), vertexOf(r+1, c)} {
+				if u == w {
+					continue // side 1 degenerates; skip self loops
+				}
+				v := mk(u, w)
+				incident[u] = append(incident[u], v)
+				incident[w] = append(incident[w], v)
+			}
+		}
+	}
+	// Random even-total charge assignment; flipping one vertex makes the
+	// total odd and the formula unsatisfiable.
+	charge := make([]bool, n)
+	parity := false
+	for i := 0; i < n-1; i++ {
+		charge[i] = rng.Intn(2) == 0
+		parity = parity != charge[i]
+	}
+	charge[n-1] = parity // total parity is now even
+	if odd {
+		charge[0] = !charge[0]
+	}
+	for u := 0; u < n; u++ {
+		addXorClause(b, incident[u], charge[u])
+	}
+	exp := ExpSat
+	if odd {
+		exp = ExpUnsat
+	}
+	name := fmt.Sprintf("tseitin%d_%d", side, seed)
+	if odd {
+		name = "u" + name
+	}
+	return mkInstance("tseitin", name, b.Formula(), exp)
+}
+
+// addXorClause emits CNF clauses for xor(vars) = rhs by enumerating the
+// 2^(k-1) forbidden sign patterns (vertex degrees here are at most 4).
+func addXorClause(b *cnf.Builder, vars []cnf.Var, rhs bool) {
+	k := len(vars)
+	if k == 0 {
+		if rhs {
+			// XOR of nothing is 0; requiring 1 is an immediate
+			// contradiction.
+			b.Clause()
+		}
+		return
+	}
+	for m := 0; m < 1<<uint(k); m++ {
+		par := false
+		for i := 0; i < k; i++ {
+			if m&(1<<uint(i)) != 0 {
+				par = !par
+			}
+		}
+		if par == rhs {
+			continue // consistent assignment; don't forbid
+		}
+		cl := make([]cnf.Lit, k)
+		for i := 0; i < k; i++ {
+			// Forbid vars[i] == bit i of m.
+			cl[i] = cnf.MkLit(vars[i], m&(1<<uint(i)) != 0)
+		}
+		b.Clause(cl...)
+	}
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+)
+
+func TestGraphColoringPlantedSat(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		inst := GraphColoring(12, 3, 0.5, true, seed)
+		check(t, inst)
+	}
+}
+
+func TestGraphColoringCliqueUnsat(t *testing.T) {
+	inst := GraphColoring(10, 3, 0.2, false, 5)
+	if inst.Expected != ExpUnsat {
+		t.Fatal("clique instance must be declared UNSAT")
+	}
+	check(t, inst)
+}
+
+func TestTseitinEvenSat(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		inst := TseitinGraph(3, false, seed)
+		check(t, inst)
+	}
+}
+
+func TestTseitinOddUnsat(t *testing.T) {
+	for _, side := range []int{2, 3, 4} {
+		inst := TseitinGraph(side, true, 7)
+		if inst.Expected != ExpUnsat {
+			t.Fatal("odd-charge Tseitin must be UNSAT")
+		}
+		check(t, inst)
+	}
+}
+
+func TestTseitinProofCheckable(t *testing.T) {
+	// The UNSAT answer on an Urquhart-style formula must carry a valid
+	// DRUP proof (these are the hardest proofs the engine emits).
+	inst := TseitinGraph(3, true, 3)
+	s := core.New(core.DefaultOptions())
+	var buf testBuffer
+	s.SetProofWriter(&buf)
+	s.AddFormula(inst.Formula)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+}
+
+// testBuffer is a minimal io.Writer to keep the proof in memory.
+type testBuffer struct{ data []byte }
+
+func (b *testBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func TestAddXorClauseSemantics(t *testing.T) {
+	// xor(a,b,c,d) = 0 has exactly 8 models over 4 vars.
+	b := cnf.NewBuilder()
+	vars := b.FreshN(4)
+	addXorClause(b, vars, false)
+	if got := dpll.CountModels(b.Formula()); got != 8 {
+		t.Fatalf("models = %d, want 8", got)
+	}
+	// Empty XOR with rhs=1 is an immediate contradiction.
+	b2 := cnf.NewBuilder()
+	addXorClause(b2, nil, true)
+	if dpll.Solve(b2.Formula()).Sat {
+		t.Fatal("empty xor=1 must be unsat")
+	}
+	// Empty XOR with rhs=0 adds nothing.
+	b3 := cnf.NewBuilder()
+	addXorClause(b3, nil, false)
+	if b3.Formula().NumClauses() != 0 {
+		t.Fatal("empty xor=0 must add no clauses")
+	}
+}

@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/cnf"
+)
+
+// Hanoi builds a SAT-plan encoding of the Towers of Hanoi with the given
+// number of disks, over the optimal horizon of 2^disks - 1 steps — the
+// structure of the DIMACS hanoi4/hanoi5 instances and the hanoi6 instance
+// the paper added (§4). Because the horizon is optimal the plan is unique,
+// which is what makes the family hard for clause-learning solvers despite
+// being satisfiable.
+//
+// Encoding: on(d,p,t) fluents, move(d,from,to,t) actions, exactly-one
+// action per step, classical precondition/effect/frame axioms.
+func Hanoi(disks int) Instance {
+	const pegs = 3
+	steps := 1<<uint(disks) - 1
+
+	b := cnf.NewBuilder()
+	b.Comment("hanoi: %d disks, %d pegs, horizon %d", disks, pegs, steps)
+
+	// on[d][p][t]
+	on := make([][][]cnf.Var, disks)
+	for d := range on {
+		on[d] = make([][]cnf.Var, pegs)
+		for p := range on[d] {
+			on[d][p] = b.FreshN(steps + 1)
+		}
+	}
+	// mv[d][f][to][t], f != to
+	mv := make([][][][]cnf.Var, disks)
+	for d := range mv {
+		mv[d] = make([][][]cnf.Var, pegs)
+		for f := range mv[d] {
+			mv[d][f] = make([][]cnf.Var, pegs)
+			for to := range mv[d][f] {
+				if f == to {
+					continue
+				}
+				mv[d][f][to] = b.FreshN(steps)
+			}
+		}
+	}
+
+	// Initial state: all disks on peg 0; goal: all on peg 2.
+	for d := 0; d < disks; d++ {
+		b.Unit(cnf.PosLit(on[d][0][0]))
+		b.Unit(cnf.PosLit(on[d][2][steps]))
+	}
+
+	// Each disk is on exactly one peg at every time.
+	for d := 0; d < disks; d++ {
+		for t := 0; t <= steps; t++ {
+			b.ExactlyOne(
+				cnf.PosLit(on[d][0][t]),
+				cnf.PosLit(on[d][1][t]),
+				cnf.PosLit(on[d][2][t]))
+		}
+	}
+
+	// Exactly one move per step.
+	for t := 0; t < steps; t++ {
+		var acts []cnf.Lit
+		for d := 0; d < disks; d++ {
+			for f := 0; f < pegs; f++ {
+				for to := 0; to < pegs; to++ {
+					if f == to {
+						continue
+					}
+					acts = append(acts, cnf.PosLit(mv[d][f][to][t]))
+				}
+			}
+		}
+		b.ExactlyOneLadder(acts...)
+	}
+
+	// Preconditions and effects. Disk indices: 0 is the smallest; a move of
+	// disk d requires no smaller disk on the source or destination peg.
+	for d := 0; d < disks; d++ {
+		for f := 0; f < pegs; f++ {
+			for to := 0; to < pegs; to++ {
+				if f == to {
+					continue
+				}
+				for t := 0; t < steps; t++ {
+					m := cnf.PosLit(mv[d][f][to][t])
+					b.Implies(m, cnf.PosLit(on[d][f][t]))    // must be there
+					b.Implies(m, cnf.PosLit(on[d][to][t+1])) // arrives
+					b.Implies(m, cnf.NegLit(on[d][f][t+1]))  // leaves
+					for sm := 0; sm < d; sm++ {
+						b.Implies(m, cnf.NegLit(on[sm][f][t]))  // top of source
+						b.Implies(m, cnf.NegLit(on[sm][to][t])) // top of target
+					}
+				}
+			}
+		}
+	}
+
+	// Explanatory frame axioms: a disk's position changes only by a move.
+	for d := 0; d < disks; d++ {
+		for p := 0; p < pegs; p++ {
+			for t := 0; t < steps; t++ {
+				// leaving p requires a move from p
+				cl := []cnf.Lit{cnf.NegLit(on[d][p][t]), cnf.PosLit(on[d][p][t+1])}
+				for to := 0; to < pegs; to++ {
+					if to == p {
+						continue
+					}
+					cl = append(cl, cnf.PosLit(mv[d][p][to][t]))
+				}
+				b.Clause(cl...)
+				// arriving at p requires a move to p
+				cl = []cnf.Lit{cnf.PosLit(on[d][p][t]), cnf.NegLit(on[d][p][t+1])}
+				for f := 0; f < pegs; f++ {
+					if f == p {
+						continue
+					}
+					cl = append(cl, cnf.PosLit(mv[d][f][p][t]))
+				}
+				b.Clause(cl...)
+			}
+		}
+	}
+
+	return mkInstance("hanoi", fmt.Sprintf("hanoi%d", disks), b.Formula(), ExpSat)
+}
+
+// HanoiPlan decodes a model of Hanoi(disks) into the move sequence
+// (disk, from, to) per step. It relies on the variable allocation order of
+// Hanoi and is used by the planning example and tests.
+func HanoiPlan(disks int, model []bool) [](struct{ Disk, From, To int }) {
+	const pegs = 3
+	steps := 1<<uint(disks) - 1
+	// Variable layout: on vars first (disks*pegs*(steps+1)), then mv vars.
+	onCount := disks * pegs * (steps + 1)
+	idx := onCount + 1 // variables are 1-based
+	var plan [](struct{ Disk, From, To int })
+	type rec struct{ d, f, to, t int }
+	var moves []rec
+	for d := 0; d < disks; d++ {
+		for f := 0; f < pegs; f++ {
+			for to := 0; to < pegs; to++ {
+				if f == to {
+					continue
+				}
+				for t := 0; t < steps; t++ {
+					if model[idx] {
+						moves = append(moves, rec{d, f, to, t})
+					}
+					idx++
+				}
+			}
+		}
+	}
+	// One move per step; order by t.
+	byT := make(map[int]rec, len(moves))
+	for _, m := range moves {
+		byT[m.t] = m
+	}
+	for t := 0; t < steps; t++ {
+		m, ok := byT[t]
+		if !ok {
+			continue
+		}
+		plan = append(plan, struct{ Disk, From, To int }{m.d, m.f, m.to})
+	}
+	return plan
+}

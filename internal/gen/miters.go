@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/circuit"
+)
+
+// MiterUnsat regenerates the paper's Miters class by the authors' own
+// recipe (§4): an artificial random combinational circuit is rewritten by
+// equivalence-preserving transformations and the two versions are mitered.
+// The result is unsatisfiable; gates controls the hardness ("artificial
+// circuits were used because their complexity was easy to control").
+func MiterUnsat(inputs, gates int, seed int64) Instance {
+	c := circuit.Random(circuit.RandomOptions{
+		Inputs:   inputs,
+		Gates:    gates,
+		Outputs:  4,
+		MaxFanin: 4,
+		Seed:     seed,
+	})
+	r := circuit.Rewrite(c, seed+1)
+	f, err := circuit.Miter(c, r)
+	if err != nil {
+		panic(err) // interfaces match by construction
+	}
+	return mkInstance("miters",
+		fmt.Sprintf("miter%d_%d_%d", inputs, gates, seed), f, ExpUnsat)
+}
+
+// MiterSat is the satisfiable counterpart: the rewritten copy additionally
+// receives an observable injected fault, so the miter has a
+// distinguishing input.
+func MiterSat(inputs, gates int, seed int64) Instance {
+	c := circuit.Random(circuit.RandomOptions{
+		Inputs:   inputs,
+		Gates:    gates,
+		Outputs:  4,
+		MaxFanin: 4,
+		Seed:     seed,
+	})
+	r := circuit.Rewrite(c, seed+1)
+	// Keep injecting until the fault is observable on a simulation sample.
+	for fs := seed + 2; ; fs++ {
+		faulty := circuit.InjectFault(r, fs)
+		if !circuit.DiffersOnSample(c, faulty, 64, seed) {
+			continue
+		}
+		f, err := circuit.Miter(c, faulty)
+		if err != nil {
+			panic(err)
+		}
+		return mkInstance("miters",
+			fmt.Sprintf("miter_sat%d_%d_%d", inputs, gates, seed), f, ExpSat)
+	}
+}
+
+// MiterSuite returns the paper's Miters class: count unsatisfiable miters
+// of growing size (the paper used 5 instances such as miter70_60_5).
+func MiterSuite(count, baseGates int, seed int64) []Instance {
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, MiterUnsat(10+2*i, baseGates+baseGates*i/2, seed+int64(i)*17))
+	}
+	return out
+}
+
+// MultiplierMiter miters an n-bit array multiplier against its rewrite —
+// the hardest known combinational equivalence shape (the comb2/comb3
+// competition instances of Table 10 are of this kind). UNSAT.
+func MultiplierMiter(n int, seed int64) Instance {
+	m := circuit.ArrayMultiplier(n)
+	r := circuit.Rewrite(m, seed)
+	f, err := circuit.Miter(m, r)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("comb", fmt.Sprintf("mult%d_%d", n, seed), f, ExpUnsat)
+}
+
+// AdderMiter miters two structurally different n-bit adders (ripple vs
+// carry-lookahead vs carry-select). UNSAT; easy for small n — the shape of
+// the Beijing 2bitadd-style arithmetic instances.
+func AdderMiter(n int, arch int) Instance {
+	a := circuit.RippleAdder(n)
+	var b2 *circuit.Circuit
+	var name string
+	switch arch % 2 {
+	case 0:
+		b2 = circuit.CarryLookaheadAdder(n)
+		name = fmt.Sprintf("addcla%d", n)
+	default:
+		b2 = circuit.CarrySelectAdder(n, 2+arch%3)
+		name = fmt.Sprintf("addcsel%d", n)
+	}
+	f, err := circuit.Miter(a, b2)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("adder", name, f, ExpUnsat)
+}
+
+// BuggyAdderMiter miters a ripple adder against a fault-injected
+// carry-lookahead adder; satisfiable (the counterexample is the
+// distinguishing input vector).
+func BuggyAdderMiter(n int, seed int64) Instance {
+	a := circuit.RippleAdder(n)
+	for fs := seed; ; fs++ {
+		faulty := circuit.InjectFault(circuit.CarryLookaheadAdder(n), fs)
+		if !circuit.DiffersOnSample(a, faulty, 64, seed) {
+			continue
+		}
+		f, err := circuit.Miter(a, faulty)
+		if err != nil {
+			panic(err)
+		}
+		return mkInstance("adder", fmt.Sprintf("addbug%d_%d", n, seed), f, ExpSat)
+	}
+}

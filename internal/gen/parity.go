@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"berkmin/internal/cnf"
+)
+
+// Parity builds a planted random GF(2) linear system in CNF, the
+// structural equivalent of the DIMACS par16 parity-learning instances: a
+// hidden assignment is drawn, eqs random 3-variable XOR equations
+// consistent with it are emitted (4 clauses each), and chains of equations
+// share variables so unit propagation cascades the way it does in par16.
+// Satisfiable by construction (the planted solution).
+func Parity(vars, eqs int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	b := cnf.NewBuilder()
+	b.Comment("parity: %d vars, %d xor equations, seed %d", vars, eqs, seed)
+	xs := b.FreshN(vars)
+	secret := make([]bool, vars)
+	for i := range secret {
+		secret[i] = rng.Intn(2) == 0
+	}
+	val := func(i int) bool { return secret[i] }
+	for e := 0; e < eqs; e++ {
+		// Pick three distinct variables; chain: reuse one variable from the
+		// previous equation half of the time to build long XOR chains.
+		i := rng.Intn(vars)
+		if e > 0 && rng.Intn(2) == 0 {
+			i = (e * 7) % vars
+		}
+		j := rng.Intn(vars)
+		for j == i {
+			j = rng.Intn(vars)
+		}
+		k := rng.Intn(vars)
+		for k == i || k == j {
+			k = rng.Intn(vars)
+		}
+		rhs := val(i) != val(j) != val(k)
+		addXor3(b, xs[i], xs[j], xs[k], rhs)
+	}
+	return mkInstance("par", fmt.Sprintf("par%d_%d", vars, seed), b.Formula(), ExpSat)
+}
+
+// addXor3 emits the 4 CNF clauses of x ⊕ y ⊕ z = rhs.
+func addXor3(b *cnf.Builder, x, y, z cnf.Var, rhs bool) {
+	for m := 0; m < 8; m++ {
+		nx, ny, nz := m&1 != 0, m&2 != 0, m&4 != 0
+		// Forbid assignments whose parity differs from rhs: the clause
+		// negates the assignment (x=!nx etc. pattern).
+		parity := nx != ny != nz
+		if parity == rhs {
+			continue
+		}
+		b.Clause(cnf.MkLit(x, nx), cnf.MkLit(y, ny), cnf.MkLit(z, nz))
+	}
+}
+
+// ParitySuite returns the paper's Par16-like class: count instances of
+// fixed shape with distinct seeds.
+func ParitySuite(vars, eqs, count int, seed int64) []Instance {
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, Parity(vars, eqs, seed+int64(i)))
+	}
+	return out
+}

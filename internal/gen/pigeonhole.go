@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/cnf"
+)
+
+// Pigeonhole builds the classic PHP(n+1, n) formula — n+1 pigeons into n
+// holes — the paper's Hole class (hole6..hole10 in the DIMACS suite). The
+// family is unsatisfiable and requires exponentially long resolution
+// proofs, which is why it stresses clause-learning solvers.
+func Pigeonhole(holes int) Instance {
+	b := cnf.NewBuilder()
+	b.Comment("pigeonhole: %d pigeons into %d holes", holes+1, holes)
+	pigeons := holes + 1
+	// p[i][j]: pigeon i sits in hole j.
+	p := make([][]cnf.Var, pigeons)
+	for i := range p {
+		p[i] = b.FreshN(holes)
+	}
+	// Every pigeon sits somewhere.
+	for i := 0; i < pigeons; i++ {
+		c := make([]cnf.Lit, holes)
+		for j := 0; j < holes; j++ {
+			c[j] = cnf.PosLit(p[i][j])
+		}
+		b.Clause(c...)
+	}
+	// No two pigeons share a hole.
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				b.Clause(cnf.NegLit(p[i][j]), cnf.NegLit(p[k][j]))
+			}
+		}
+	}
+	return mkInstance("hole", fmt.Sprintf("hole%d", holes), b.Formula(), ExpUnsat)
+}
+
+// HoleSuite returns the paper's Hole class: hole6 through hole6+count-1.
+func HoleSuite(first, count int) []Instance {
+	out := make([]Instance, 0, count)
+	for n := first; n < first+count; n++ {
+		out = append(out, Pigeonhole(n))
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"fmt"
+
+	"berkmin/internal/circuit"
+)
+
+// This file regenerates the shape of Velev's processor-verification
+// suites (Sss1.0, Sss1.0a, Sss-sat1.0, Fvp-unsat1.0/2.0, Vliw-sat1.0):
+// wide, structured, Tseitin-encoded equivalence-checking CNFs over
+// datapath logic. The originals compare a pipelined microprocessor against
+// its ISA specification after Burch-Dill flushing — combinationally, a
+// miter over ALU/mux/forwarding logic. We build the same thing from this
+// repository's datapath library: staged ALU datapaths, mitered against a
+// restructured (or deliberately corrupted) copy.
+
+// pipelineDatapath builds a `stages`-deep datapath: each stage applies an
+// ALU whose second operand is a mux between a stage input and the previous
+// stage's result (a forwarding path), over `width`-bit buses.
+func pipelineDatapath(stages, width int, seed int64) *circuit.Circuit {
+	c := circuit.New()
+	acc := c.AddInputs("in", width)
+	for st := 0; st < stages; st++ {
+		op := c.AddInputs(fmt.Sprintf("op%d_", st), 2)
+		b := c.AddInputs(fmt.Sprintf("b%d_", st), width)
+		fwd := c.AddInput(fmt.Sprintf("fwd%d", st))
+		// Operand select: forwarding mux picks previous result or fresh b.
+		operand := make([]circuit.Signal, width)
+		for i := 0; i < width; i++ {
+			operand[i] = c.MuxGate(fwd, acc[i], b[i])
+		}
+		acc = aluStage(c, acc, operand, op)
+	}
+	for i, s := range acc {
+		c.AddOutput(fmt.Sprintf("out%d", i), s)
+	}
+	_ = seed
+	return c
+}
+
+// aluStage computes the 4-function ALU (add/and/or/xor) over the buses.
+func aluStage(c *circuit.Circuit, a, b []circuit.Signal, op []circuit.Signal) []circuit.Signal {
+	width := len(a)
+	res := make([]circuit.Signal, width)
+	carry := c.False()
+	sel0 := c.AndGate(op[0].Invert(), op[1].Invert())
+	sel1 := c.AndGate(op[0], op[1].Invert())
+	sel2 := c.AndGate(op[0].Invert(), op[1])
+	sel3 := c.AndGate(op[0], op[1])
+	for i := 0; i < width; i++ {
+		axb := c.XorGate(a[i], b[i])
+		sum := c.XorGate(axb, carry)
+		carry = c.OrGate(c.AndGate(a[i], b[i]), c.AndGate(axb, carry))
+		res[i] = c.OrGate(
+			c.AndGate(sel0, sum),
+			c.AndGate(sel1, c.AndGate(a[i], b[i])),
+			c.AndGate(sel2, c.OrGate(a[i], b[i])),
+			c.AndGate(sel3, axb),
+		)
+	}
+	return res
+}
+
+// PipelineVerification builds one Sss-style instance: a miter of the
+// datapath against its restructured copy. With buggy=false the miter is
+// UNSAT (correct implementation — Sss1.0/Sss1.0a); with buggy=true an
+// observable fault makes it SAT (Sss-sat1.0).
+func PipelineVerification(stages, width int, buggy bool, seed int64) Instance {
+	spec := pipelineDatapath(stages, width, seed)
+	impl := circuit.Rewrite(spec, seed+1)
+	name := fmt.Sprintf("sss%d_%d_%d", stages, width, seed)
+	exp := ExpUnsat
+	if buggy {
+		for fs := seed + 2; ; fs++ {
+			faulty := circuit.InjectFault(impl, fs)
+			if circuit.DiffersOnSample(spec, faulty, 64, seed) {
+				impl = faulty
+				break
+			}
+		}
+		name = fmt.Sprintf("sss_sat%d_%d_%d", stages, width, seed)
+		exp = ExpSat
+	}
+	f, err := circuit.Miter(spec, impl)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("sss", name, f, exp)
+}
+
+// PipeUnsat builds one Fvp-unsat2.0-style instance ("Npipe"): the deeper
+// the pipeline, the harder the (unsatisfiable) equivalence proof — the
+// same depth scaling as 4pipe..7pipe in Tables 7–9.
+func PipeUnsat(depth, width int, seed int64) Instance {
+	spec := pipelineDatapath(depth, width, seed)
+	impl := circuit.Rewrite(spec, seed+int64(depth))
+	f, err := circuit.Miter(spec, impl)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("fvp-unsat", fmt.Sprintf("%dpipe_w%d", depth, width), f, ExpUnsat)
+}
+
+// VliwSat builds one Vliw-sat1.0-style instance (9vliw): several parallel
+// datapath lanes sharing operand buses, with an injected observable defect,
+// so the wide miter is satisfiable.
+func VliwSat(lanes, width int, seed int64) Instance {
+	c := circuit.New()
+	a := c.AddInputs("a", width)
+	b := c.AddInputs("b", width)
+	for lane := 0; lane < lanes; lane++ {
+		op := c.AddInputs(fmt.Sprintf("op%d_", lane), 2)
+		res := aluStage(c, a, b, op)
+		for i, s := range res {
+			c.AddOutput(fmt.Sprintf("l%d_%d", lane, i), s)
+		}
+	}
+	impl := circuit.Rewrite(c, seed)
+	for fs := seed + 1; ; fs++ {
+		faulty := circuit.InjectFault(impl, fs)
+		if circuit.DiffersOnSample(c, faulty, 64, seed) {
+			impl = faulty
+			break
+		}
+	}
+	f, err := circuit.Miter(c, impl)
+	if err != nil {
+		panic(err)
+	}
+	return mkInstance("vliw-sat", fmt.Sprintf("%dvliw_w%d_%d", lanes, width, seed), f, ExpSat)
+}
+
+// SssSuite generates `count` correct-design instances (UNSAT).
+func SssSuite(count, stages, width int, seed int64) []Instance {
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, PipelineVerification(stages, width, false, seed+int64(i)*13))
+	}
+	return out
+}
+
+// SssSatSuite generates `count` buggy-design instances (SAT).
+func SssSatSuite(count, stages, width int, seed int64) []Instance {
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, PipelineVerification(stages, width, true, seed+int64(i)*13))
+	}
+	return out
+}
+
+// FvpUnsatSuite generates pipe instances of growing depth, like
+// 4pipe..7pipe.
+func FvpUnsatSuite(minDepth, maxDepth, width int, seed int64) []Instance {
+	var out []Instance
+	for d := minDepth; d <= maxDepth; d++ {
+		out = append(out, PipeUnsat(d, width, seed))
+	}
+	return out
+}
+
+// VliwSatSuite generates `count` wide satisfiable instances.
+func VliwSatSuite(count, lanes, width int, seed int64) []Instance {
+	out := make([]Instance, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, VliwSat(lanes, width, seed+int64(i)*29))
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package gen
+
+import (
+	"testing"
+
+	"berkmin/internal/core"
+)
+
+func TestPipelineInstanceShapes(t *testing.T) {
+	inst := PipelineVerification(2, 4, false, 7)
+	vars, clauses, _ := inst.Formula.Stats()
+	if vars == 0 || clauses == 0 {
+		t.Fatal("empty instance")
+	}
+	if inst.Family != "sss" || inst.Expected != ExpUnsat {
+		t.Fatalf("metadata: %s %v", inst.Family, inst.Expected)
+	}
+	buggy := PipelineVerification(2, 4, true, 7)
+	if buggy.Expected != ExpSat {
+		t.Fatal("buggy variant must be declared SAT")
+	}
+}
+
+func TestPipeDepthGrowsHardness(t *testing.T) {
+	// Deeper pipes must produce bigger CNFs and more conflicts — the
+	// Fvp-unsat2.0 scaling the paper exploits in Tables 7-9.
+	shallow := PipeUnsat(2, 4, 3)
+	deep := PipeUnsat(4, 4, 3)
+	_, cs, _ := shallow.Formula.Stats()
+	_, cd, _ := deep.Formula.Stats()
+	if cd <= cs {
+		t.Fatalf("deep pipe not bigger: %d vs %d", cd, cs)
+	}
+	run := func(inst Instance) uint64 {
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(inst.Formula)
+		r := s.Solve()
+		if r.Status != core.StatusUnsat {
+			t.Fatalf("%s: %v", inst.Name, r.Status)
+		}
+		return r.Stats.Conflicts
+	}
+	if run(deep) <= run(shallow) {
+		t.Log("warning: conflict counts did not grow with depth (allowed, but unusual)")
+	}
+}
+
+func TestVliwInstanceDecodable(t *testing.T) {
+	inst := VliwSat(2, 4, 9)
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(inst.Formula)
+	r := s.Solve()
+	if r.Status != core.StatusSat {
+		t.Fatalf("vliw: %v", r.Status)
+	}
+}
+
+func TestCompetitionInstancesDistinctNames(t *testing.T) {
+	suite := CompetitionSuite(1)
+	names := map[string]bool{}
+	for _, inst := range suite {
+		if names[inst.Name] {
+			t.Fatalf("duplicate instance name %q", inst.Name)
+		}
+		names[inst.Name] = true
+	}
+}
+
+func TestBmcFamiliesScaleWithDepth(t *testing.T) {
+	a := CompetitionFifo(2, 5)
+	b := CompetitionFifo(2, 15)
+	_, ca, _ := a.Formula.Stats()
+	_, cb, _ := b.Formula.Stats()
+	if cb <= ca {
+		t.Fatalf("deeper unrolling not bigger: %d vs %d", cb, ca)
+	}
+}
+
+func TestGatedConeMiterSolves(t *testing.T) {
+	inst := GatedConeMiter(6, 25, 4)
+	if inst.Expected != ExpUnsat {
+		t.Fatal("cone miter must be UNSAT")
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(inst.Formula)
+	if r := s.Solve(); r.Status != core.StatusUnsat {
+		t.Fatalf("cone: %v", r.Status)
+	}
+}
+
+// TestEveryFamilySolvesWithChaffConfig guards the baseline configuration
+// against generator edge cases (it must agree with expectations too).
+func TestEveryFamilySolvesWithChaffConfig(t *testing.T) {
+	insts := []Instance{
+		Pigeonhole(4),
+		Parity(20, 24, 2),
+		Hanoi(3),
+		Blocksworld(3, 0, 2),
+		Queens(5),
+		MiterUnsat(6, 20, 2),
+		AdderMiter(3, 1),
+		TseitinGraph(2, true, 1),
+		GraphColoring(8, 3, 0.4, true, 2),
+	}
+	for _, inst := range insts {
+		s := core.New(core.ChaffOptions())
+		s.AddFormula(inst.Formula)
+		r := s.Solve()
+		switch inst.Expected {
+		case ExpSat:
+			if r.Status != core.StatusSat {
+				t.Fatalf("%s: %v", inst.Name, r.Status)
+			}
+		case ExpUnsat:
+			if r.Status != core.StatusUnsat {
+				t.Fatalf("%s: %v", inst.Name, r.Status)
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package simplify is a CNF preprocessor: unit propagation, tautology and
+// duplicate removal, subsumption, self-subsuming resolution
+// (strengthening) and bounded variable elimination, with model
+// reconstruction for eliminated variables.
+//
+// BerkMin itself simplifies its database under retained level-0
+// assignments at every restart (§8); this package extends that idea to a
+// standalone SatELite-style preprocessor — a post-BerkMin technique — so
+// generated benchmark CNFs can be solved in either raw or preprocessed
+// form. Solving the simplified formula plus Outcome.Extend reconstructs a
+// model of the original.
+package simplify
+
+import (
+	"sort"
+
+	"berkmin/internal/cnf"
+)
+
+// Options bounds the preprocessing effort.
+type Options struct {
+	// Subsume enables subsumption and self-subsuming resolution.
+	Subsume bool
+	// EliminateVars enables bounded variable elimination.
+	EliminateVars bool
+	// MaxGrowth is the largest allowed increase in clause count when
+	// eliminating one variable (0 = never grow, NiVER-style).
+	MaxGrowth int
+	// MaxOccurrences skips elimination of variables occurring more often
+	// than this (cost control; 0 means a default of 16).
+	MaxOccurrences int
+	// MaxRounds bounds the simplification fixpoint loop (0 = default 5).
+	MaxRounds int
+}
+
+// DefaultOptions enables everything with conservative bounds.
+func DefaultOptions() Options {
+	return Options{Subsume: true, EliminateVars: true, MaxGrowth: 0, MaxOccurrences: 16, MaxRounds: 5}
+}
+
+// Elim records one eliminated variable and the original clauses it
+// occurred in, for model reconstruction.
+type Elim struct {
+	V       cnf.Var
+	Clauses []cnf.Clause
+}
+
+// Outcome is the preprocessing result.
+type Outcome struct {
+	// Formula is the simplified CNF (over the same variable numbering;
+	// eliminated variables simply no longer occur).
+	Formula *cnf.Formula
+	// Unsat is true when preprocessing alone refuted the formula.
+	Unsat bool
+	// Units are the literals fixed by preprocessing.
+	Units []cnf.Lit
+	// Elims holds eliminated variables in elimination order.
+	Elims []Elim
+
+	// statistics
+	RemovedTautologies int
+	RemovedSubsumed    int
+	StrengthenedLits   int
+	EliminatedVars     int
+	PropagatedUnits    int
+}
+
+type workClause struct {
+	lits    []cnf.Lit
+	sig     uint64 // literal-occurrence signature for fast subsumption tests
+	deleted bool
+}
+
+func signature(lits []cnf.Lit) uint64 {
+	var s uint64
+	for _, l := range lits {
+		s |= 1 << (uint(l) % 64)
+	}
+	return s
+}
+
+type simplifier struct {
+	opt     Options
+	nVars   int
+	clauses []*workClause
+	occ     [][]*workClause // per literal
+	assign  []int8          // 0 undef, 1 true, -1 false
+	queue   []cnf.Lit
+	out     *Outcome
+}
+
+// Simplify preprocesses the formula. The input is not modified.
+func Simplify(f *cnf.Formula, opt Options) *Outcome {
+	if opt.MaxOccurrences <= 0 {
+		opt.MaxOccurrences = 16
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 5
+	}
+	s := &simplifier{
+		opt:    opt,
+		nVars:  f.NumVars,
+		occ:    make([][]*workClause, 2*f.NumVars+2),
+		assign: make([]int8, f.NumVars+1),
+		out:    &Outcome{},
+	}
+	for _, c := range f.Clauses {
+		norm, taut := c.Clone().Normalize()
+		if taut {
+			s.out.RemovedTautologies++
+			continue
+		}
+		if len(norm) == 0 {
+			s.out.Unsat = true
+			s.out.Formula = cnf.New(f.NumVars)
+			s.out.Formula.Add(cnf.Clause{})
+			return s.out
+		}
+		if len(norm) == 1 {
+			s.queue = append(s.queue, norm[0])
+			continue
+		}
+		s.addClause(norm)
+	}
+	if !s.propagate() {
+		return s.finishUnsat(f.NumVars)
+	}
+	for round := 0; round < opt.MaxRounds; round++ {
+		changed := false
+		if opt.Subsume {
+			changed = s.subsumptionPass() || changed
+			if !s.propagate() {
+				return s.finishUnsat(f.NumVars)
+			}
+		}
+		if opt.EliminateVars {
+			changed = s.eliminationPass() || changed
+			if !s.propagate() {
+				return s.finishUnsat(f.NumVars)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Emit the simplified formula.
+	out := cnf.New(f.NumVars)
+	for _, c := range s.clauses {
+		if c.deleted {
+			continue
+		}
+		kept := s.currentLits(c)
+		if kept == nil {
+			continue // satisfied
+		}
+		out.Add(kept)
+	}
+	for v := cnf.Var(1); int(v) <= f.NumVars; v++ {
+		switch s.assign[v] {
+		case 1:
+			s.out.Units = append(s.out.Units, cnf.PosLit(v))
+			out.Add(cnf.Clause{cnf.PosLit(v)})
+		case -1:
+			s.out.Units = append(s.out.Units, cnf.NegLit(v))
+			out.Add(cnf.Clause{cnf.NegLit(v)})
+		}
+	}
+	s.out.Formula = out
+	return s.out
+}
+
+func (s *simplifier) finishUnsat(nVars int) *Outcome {
+	s.out.Unsat = true
+	s.out.Formula = cnf.New(nVars)
+	s.out.Formula.Add(cnf.Clause{})
+	return s.out
+}
+
+func (s *simplifier) addClause(lits []cnf.Lit) *workClause {
+	c := &workClause{lits: lits, sig: signature(lits)}
+	s.clauses = append(s.clauses, c)
+	for _, l := range lits {
+		s.occ[l] = append(s.occ[l], c)
+	}
+	return c
+}
+
+func (s *simplifier) val(l cnf.Lit) int8 {
+	v := s.assign[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+// currentLits returns the clause's literals under the current fixed
+// assignment, or nil when satisfied.
+func (s *simplifier) currentLits(c *workClause) cnf.Clause {
+	out := make(cnf.Clause, 0, len(c.lits))
+	for _, l := range c.lits {
+		switch s.val(l) {
+		case 1:
+			return nil
+		case 0:
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// propagate fixes queued units to a fixpoint; false on conflict.
+func (s *simplifier) propagate() bool {
+	for len(s.queue) > 0 {
+		l := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		switch s.val(l) {
+		case 1:
+			continue
+		case -1:
+			return false
+		}
+		if l.Neg() {
+			s.assign[l.Var()] = -1
+		} else {
+			s.assign[l.Var()] = 1
+		}
+		s.out.PropagatedUnits++
+		// Clauses containing ¬l may become unit.
+		for _, c := range s.occ[l.Not()] {
+			if c.deleted {
+				continue
+			}
+			lits := s.currentLits(c)
+			if lits == nil {
+				continue
+			}
+			switch len(lits) {
+			case 0:
+				return false
+			case 1:
+				s.queue = append(s.queue, lits[0])
+			}
+		}
+	}
+	return true
+}
+
+// subsumptionPass removes subsumed clauses and applies self-subsuming
+// resolution. Returns whether anything changed.
+func (s *simplifier) subsumptionPass() bool {
+	changed := false
+	// Sort by length so short (strong) clauses subsume first.
+	order := make([]*workClause, 0, len(s.clauses))
+	for _, c := range s.clauses {
+		if !c.deleted {
+			order = append(order, c)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return len(order[i].lits) < len(order[j].lits) })
+	for _, c := range order {
+		if c.deleted {
+			continue
+		}
+		// Find the literal with the fewest occurrences to scan candidates.
+		best := c.lits[0]
+		for _, l := range c.lits[1:] {
+			if len(s.occ[l]) < len(s.occ[best]) {
+				best = l
+			}
+		}
+		for _, d := range s.occ[best] {
+			if d == c || d.deleted || len(d.lits) < len(c.lits) {
+				continue
+			}
+			if c.sig&^d.sig != 0 {
+				continue // fast reject
+			}
+			if containsAll(d.lits, c.lits) {
+				d.deleted = true
+				s.out.RemovedSubsumed++
+				changed = true
+			}
+		}
+		// Self-subsuming resolution: c = (l ∨ A); any d ⊇ A ∪ {¬l} can
+		// drop ¬l.
+		for _, l := range c.lits {
+			neg := l.Not()
+			negSig := c.sig &^ (1 << (uint(l) % 64))
+			negSig |= 1 << (uint(neg) % 64)
+			for _, d := range s.occ[neg] {
+				if d.deleted || len(d.lits) < len(c.lits) {
+					continue
+				}
+				if negSig&^d.sig != 0 {
+					continue
+				}
+				if subsumesExcept(c.lits, d.lits, l, neg) {
+					s.strengthen(d, neg)
+					s.out.StrengthenedLits++
+					changed = true
+					if len(d.lits) == 1 {
+						s.queue = append(s.queue, d.lits[0])
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// containsAll reports whether sup contains every literal of sub (both
+// sorted ascending by Normalize's ordering is NOT guaranteed here, so use
+// a linear scan with the small sizes typical of clauses).
+func containsAll(sup, sub []cnf.Lit) bool {
+	for _, l := range sub {
+		found := false
+		for _, m := range sup {
+			if m == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// subsumesExcept reports whether (c \ {l}) ∪ {neg} ⊆ d.
+func subsumesExcept(c, d []cnf.Lit, l, neg cnf.Lit) bool {
+	for _, x := range c {
+		want := x
+		if x == l {
+			want = neg
+		}
+		found := false
+		for _, m := range d {
+			if m == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// strengthen removes the literal from the clause (occurrence lists keep a
+// stale entry; deleted/changed clauses are re-checked via signatures).
+func (s *simplifier) strengthen(c *workClause, l cnf.Lit) {
+	out := c.lits[:0]
+	for _, x := range c.lits {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	c.lits = out
+	c.sig = signature(out)
+}
+
+// eliminationPass applies bounded variable elimination. Returns whether
+// anything changed.
+func (s *simplifier) eliminationPass() bool {
+	changed := false
+	for v := cnf.Var(1); int(v) <= s.nVars; v++ {
+		if s.assign[v] != 0 {
+			continue
+		}
+		pos := s.liveOcc(cnf.PosLit(v))
+		neg := s.liveOcc(cnf.NegLit(v))
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) == 0 || len(neg) == 0 {
+			// Pure literal: queue it; the caller's propagation applies it
+			// (a pure literal can never conflict on its own).
+			s.queue = append(s.queue, cnf.MkLit(v, len(pos) == 0))
+			changed = true
+			continue
+		}
+		if len(pos)+len(neg) > s.opt.MaxOccurrences {
+			continue
+		}
+		// Build all non-tautological resolvents.
+		var resolvents []cnf.Clause
+		ok := true
+		for _, p := range pos {
+			for _, n := range neg {
+				r, taut := resolve(s.currentLits(p), s.currentLits(n), v)
+				if taut {
+					continue
+				}
+				if r == nil {
+					ok = false // a clause was satisfied-under-assignment; postpone
+					break
+				}
+				if len(r) == 0 {
+					// Empty resolvent: the formula is unsatisfiable.
+					// Queue the contradiction; the caller's propagation
+					// turns it into the UNSAT outcome.
+					s.queue = append(s.queue, cnf.PosLit(v), cnf.NegLit(v))
+					return true
+				}
+				resolvents = append(resolvents, r)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok || len(resolvents) > len(pos)+len(neg)+s.opt.MaxGrowth {
+			continue
+		}
+		// Record the original clauses for model reconstruction, then swap.
+		elim := Elim{V: v}
+		for _, c := range append(append([]*workClause{}, pos...), neg...) {
+			lits := s.currentLits(c)
+			if lits != nil {
+				elim.Clauses = append(elim.Clauses, lits)
+			}
+			c.deleted = true
+		}
+		s.out.Elims = append(s.out.Elims, elim)
+		s.out.EliminatedVars++
+		for _, r := range resolvents {
+			if len(r) == 1 {
+				s.queue = append(s.queue, r[0])
+				continue
+			}
+			s.addClause(r)
+		}
+		changed = true
+	}
+	return changed
+}
+
+func (s *simplifier) liveOcc(l cnf.Lit) []*workClause {
+	var out []*workClause
+	for _, c := range s.occ[l] {
+		if c.deleted {
+			continue
+		}
+		// Strengthening may have removed l; occurrence lists are lazy.
+		has := false
+		for _, x := range c.lits {
+			if x == l {
+				has = true
+				break
+			}
+		}
+		if has {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// resolve computes the resolvent of a and b on v. Returns (nil, false)
+// when either side is satisfied/absent, (resolvent, false) normally, or
+// (_, true) for a tautological resolvent.
+func resolve(a, b cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	if a == nil || b == nil {
+		return nil, false
+	}
+	out := make(cnf.Clause, 0, len(a)+len(b)-2)
+	for _, l := range a {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range b {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	norm, taut := out.Normalize()
+	if taut {
+		return nil, true
+	}
+	return norm, false
+}
+
+// Extend completes a model of the simplified formula into a model of the
+// original: eliminated variables are assigned, in reverse elimination
+// order, the value that satisfies all their original clauses.
+func (o *Outcome) Extend(model []bool) []bool {
+	out := make([]bool, len(model))
+	copy(out, model)
+	for i := len(o.Elims) - 1; i >= 0; i-- {
+		e := o.Elims[i]
+		// Default false; flip to true if some clause requires it.
+		out[e.V] = false
+		for _, c := range e.Clauses {
+			if !cnf.Assignment(out).SatisfiesClause(c) {
+				out[e.V] = true
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package simplify
+
+import (
+	"math/rand"
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+)
+
+func TestTautologyRemoved(t *testing.T) {
+	f := cnf.New(2)
+	f.AddClause(1, -1)
+	f.AddClause(2)
+	o := Simplify(f, DefaultOptions())
+	if o.Unsat || o.RemovedTautologies != 1 {
+		t.Fatalf("outcome %+v", o)
+	}
+}
+
+func TestUnitPropagationFixesChain(t *testing.T) {
+	f := cnf.New(4)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	f.AddClause(-3, 4)
+	o := Simplify(f, DefaultOptions())
+	if o.Unsat {
+		t.Fatal("satisfiable chain declared unsat")
+	}
+	if o.PropagatedUnits != 4 {
+		t.Fatalf("propagated = %d", o.PropagatedUnits)
+	}
+}
+
+func TestUnsatDetectedByUP(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	o := Simplify(f, DefaultOptions())
+	if !o.Unsat {
+		t.Fatal("contradiction missed")
+	}
+}
+
+func TestEmptyClauseInput(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(cnf.Clause{})
+	if !Simplify(f, DefaultOptions()).Unsat {
+		t.Fatal("empty clause missed")
+	}
+}
+
+func TestSubsumptionRemovesSuperset(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, 2, 3) // subsumed
+	o := Simplify(f, Options{Subsume: true, MaxRounds: 2, MaxOccurrences: 16})
+	if o.RemovedSubsumed != 1 {
+		t.Fatalf("subsumed = %d", o.RemovedSubsumed)
+	}
+	if o.Formula.NumClauses() != 1 {
+		t.Fatalf("clauses = %d", o.Formula.NumClauses())
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (1 2) and (-1 2 3): resolving on 1 gives (2 3) ⊂ (-1 2 3), so the
+	// second clause strengthens to (2 3).
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2, 3)
+	o := Simplify(f, Options{Subsume: true, MaxRounds: 1, MaxOccurrences: 16})
+	if o.StrengthenedLits == 0 {
+		t.Fatal("no strengthening happened")
+	}
+	for _, c := range o.Formula.Clauses {
+		if len(c) == 3 {
+			t.Fatalf("clause %v not strengthened", c)
+		}
+	}
+}
+
+func TestVariableElimination(t *testing.T) {
+	// v=2 occurs twice; eliminating it resolves (1 2)(−2 3) into (1 3).
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(-2, 3)
+	o := Simplify(f, Options{EliminateVars: true, MaxOccurrences: 16, MaxRounds: 2})
+	if o.EliminatedVars == 0 {
+		t.Fatal("nothing eliminated")
+	}
+	for _, c := range o.Formula.Clauses {
+		for _, l := range c {
+			if l.Var() == 2 {
+				t.Fatalf("variable 2 still occurs: %v", c)
+			}
+		}
+	}
+}
+
+func TestPureLiteralElimination(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(1, 3)
+	// x1 occurs only positively.
+	o := Simplify(f, Options{EliminateVars: true, MaxOccurrences: 16, MaxRounds: 2})
+	if o.Unsat {
+		t.Fatal("pure-literal case declared unsat")
+	}
+	// All clauses satisfied by x1=1; formula reduces to the unit.
+	sawUnit := false
+	for _, u := range o.Units {
+		if u == cnf.PosLit(1) {
+			sawUnit = true
+		}
+	}
+	if !sawUnit {
+		t.Fatalf("pure literal not fixed; units = %v", o.Units)
+	}
+}
+
+func TestExtendReconstructsModels(t *testing.T) {
+	f := cnf.New(4)
+	f.AddClause(1, 2)
+	f.AddClause(-2, 3)
+	f.AddClause(-3, -4)
+	o := Simplify(f, DefaultOptions())
+	if o.Unsat {
+		t.Fatal("satisfiable formula declared unsat")
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(o.Formula)
+	r := s.Solve()
+	if r.Status != core.StatusSat {
+		t.Fatalf("simplified: %v", r.Status)
+	}
+	full := o.Extend(r.Model)
+	if !cnf.Assignment(full).Satisfies(f) {
+		t.Fatalf("reconstructed model does not satisfy the original")
+	}
+}
+
+// TestEquisatisfiableRandom is the load-bearing test: preprocessing must
+// preserve satisfiability exactly, and reconstructed models must satisfy
+// the original formula — over hundreds of random instances and several
+// option combinations.
+func TestEquisatisfiableRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	optSets := []Options{
+		DefaultOptions(),
+		{Subsume: true, MaxRounds: 3, MaxOccurrences: 16},
+		{EliminateVars: true, MaxRounds: 3, MaxOccurrences: 16},
+		{Subsume: true, EliminateVars: true, MaxGrowth: 4, MaxOccurrences: 30, MaxRounds: 8},
+	}
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(9)
+		m := 2 + rng.Intn(5*n)
+		f := cnf.New(n)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(n))
+				c = append(c, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			f.Add(c)
+		}
+		want := dpll.BruteForce(f).Sat
+		o := Simplify(f, optSets[iter%len(optSets)])
+		if o.Unsat {
+			if want {
+				t.Fatalf("iter %d: preprocessing refuted a satisfiable formula\n%v", iter, f.Clauses)
+			}
+			continue
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(o.Formula)
+		r := s.Solve()
+		if (r.Status == core.StatusSat) != want {
+			t.Fatalf("iter %d: simplified solves to %v, original sat=%v\norig: %v\nsimp: %v",
+				iter, r.Status, want, f.Clauses, o.Formula.Clauses)
+		}
+		if r.Status == core.StatusSat {
+			full := o.Extend(r.Model)
+			if !cnf.Assignment(full).Satisfies(f) {
+				t.Fatalf("iter %d: reconstruction failed\norig: %v", iter, f.Clauses)
+			}
+		}
+	}
+}
+
+// TestSimplifyBenchmarks sanity-checks preprocessing on real benchmark
+// families: status must be preserved end to end.
+func TestSimplifyBenchmarks(t *testing.T) {
+	// A pigeonhole formula (UNSAT) exercises larger structure.
+	b := cnf.NewBuilder()
+	p := make([][]cnf.Var, 5)
+	for i := range p {
+		p[i] = b.FreshN(4)
+	}
+	for i := 0; i < 5; i++ {
+		lits := make([]cnf.Lit, 4)
+		for j := 0; j < 4; j++ {
+			lits[j] = cnf.PosLit(p[i][j])
+		}
+		b.Clause(lits...)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 5; i++ {
+			for k := i + 1; k < 5; k++ {
+				b.Clause(cnf.NegLit(p[i][j]), cnf.NegLit(p[k][j]))
+			}
+		}
+	}
+	hole := b.Formula()
+	o := Simplify(hole, DefaultOptions())
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(o.Formula)
+	if r := s.Solve(); o.Unsat == false && r.Status != core.StatusUnsat {
+		t.Fatalf("hole4 after preprocessing: %v", r.Status)
+	}
+}

@@ -1,0 +1,18 @@
+package berkmin
+
+import (
+	"io"
+
+	"berkmin/internal/drup"
+)
+
+// ProofResult summarizes a DRUP proof check.
+type ProofResult = drup.Result
+
+// CheckDRUP validates a DRUP unsatisfiability proof (produced via
+// Solver.SetProofWriter) against the formula. A nil error means every
+// proof step is derivable by reverse unit propagation and the empty clause
+// was reached: the UNSAT answer is independently verified.
+func CheckDRUP(f *Formula, proof io.Reader) (ProofResult, error) {
+	return drup.Check(f, proof)
+}

@@ -1,0 +1,24 @@
+package berkmin
+
+import (
+	"berkmin/internal/simplify"
+)
+
+// SimplifyOptions bounds the preprocessor's effort.
+type SimplifyOptions = simplify.Options
+
+// SimplifyOutcome is a preprocessing result; solve Outcome.Formula and
+// reconstruct a model of the original with Outcome.Extend.
+type SimplifyOutcome = simplify.Outcome
+
+// DefaultSimplifyOptions enables subsumption, self-subsuming resolution
+// and bounded variable elimination with conservative bounds.
+var DefaultSimplifyOptions = simplify.DefaultOptions
+
+// Simplify preprocesses a CNF: unit propagation, tautology removal,
+// subsumption, self-subsuming resolution and bounded variable elimination
+// (an extension beyond the paper; BerkMin's own §8 level-0 simplification
+// is built into the solver). The input formula is not modified.
+func Simplify(f *Formula, opt SimplifyOptions) *SimplifyOutcome {
+	return simplify.Simplify(f, opt)
+}

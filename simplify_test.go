@@ -1,0 +1,38 @@
+package berkmin_test
+
+import (
+	"testing"
+
+	"berkmin"
+)
+
+func TestSimplifyFacade(t *testing.T) {
+	inst := berkmin.Queens(6)
+	o := berkmin.Simplify(inst.Formula, berkmin.DefaultSimplifyOptions())
+	if o.Unsat {
+		t.Fatal("queens6 declared unsat by preprocessing")
+	}
+	s := berkmin.New()
+	s.AddFormula(o.Formula)
+	r := s.Solve()
+	if r.Status != berkmin.StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	full := o.Extend(r.Model)
+	if !berkmin.Verify(inst.Formula, full) {
+		t.Fatal("reconstructed model fails on the original formula")
+	}
+}
+
+func TestSimplifyPreservesUnsat(t *testing.T) {
+	inst := berkmin.Pigeonhole(5)
+	o := berkmin.Simplify(inst.Formula, berkmin.DefaultSimplifyOptions())
+	if o.Unsat {
+		return // even better: preprocessing alone refuted it
+	}
+	s := berkmin.New()
+	s.AddFormula(o.Formula)
+	if r := s.Solve(); r.Status != berkmin.StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+}
