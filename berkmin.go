@@ -26,13 +26,20 @@
 // processor-verification-style instances, BMC unrollings) and DIMACS I/O,
 // so downstream users can reproduce every table of the paper's evaluation
 // — see cmd/satbench.
+//
+// Beyond the paper, SolveParallel runs a portfolio of diversified solver
+// configurations concurrently (first definitive answer wins, losers are
+// interrupted, short learnt clauses are exchanged between members) — the
+// multi-core entry point; cmd/berkmin exposes it as -jobs N.
 package berkmin
 
 import (
 	"io"
+	"time"
 
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
+	"berkmin/internal/portfolio"
 )
 
 // Options configures the solver. Zero value is unusable; start from
@@ -164,6 +171,65 @@ func (s *Solver) SolveAssuming(lits ...int) Result {
 		}
 	}
 	return r
+}
+
+// StopReason says why a Solve call returned: StopNone for a definitive
+// answer, a resource-limit reason, or StopInterrupted.
+type StopReason = core.StopReason
+
+// Stop reasons.
+const (
+	StopNone        = core.StopNone
+	StopConflicts   = core.StopConflicts
+	StopDecisions   = core.StopDecisions
+	StopTime        = core.StopTime
+	StopInterrupted = core.StopInterrupted
+)
+
+// Interrupt asks a running Solve to return promptly with StatusUnknown and
+// StopInterrupted. It is the only method safe to call from another
+// goroutine, and is sticky until ClearInterrupt.
+func (s *Solver) Interrupt() { s.core.Interrupt() }
+
+// ClearInterrupt re-arms an interrupted solver for further use.
+func (s *Solver) ClearInterrupt() { s.core.ClearInterrupt() }
+
+// ParallelOptions configures SolveParallel. The zero value means: one
+// solver per CPU, default clause-sharing length, no resource limits.
+type ParallelOptions struct {
+	// Jobs is the number of concurrent solvers (<= 0: GOMAXPROCS).
+	Jobs int
+	// ShareMaxLen caps exchanged learnt-clause length (0: default 8,
+	// negative: disable sharing).
+	ShareMaxLen int
+	// Per-solver budgets, as in Options (0 = unlimited).
+	MaxConflicts uint64
+	MaxTime      time.Duration
+	// Seed diversifies the member PRNGs (0 means 1).
+	Seed uint64
+}
+
+// ParallelResult is the portfolio outcome: the winning member's Result
+// plus its configuration name (empty if every member hit its budget).
+type ParallelResult struct {
+	Result
+	Winner string
+}
+
+// SolveParallel solves the formula with a portfolio of diversified solver
+// configurations running concurrently: the first definitive answer wins
+// and cancels the rest, and members exchange short learnt clauses. Answers
+// are identical in kind to Solve's (models are verified before being
+// returned); only which member finds them — and how fast — varies.
+func SolveParallel(f *Formula, opt ParallelOptions) ParallelResult {
+	r := portfolio.Solve(f, portfolio.Options{
+		Jobs:         opt.Jobs,
+		ShareMaxLen:  opt.ShareMaxLen,
+		MaxConflicts: opt.MaxConflicts,
+		MaxTime:      opt.MaxTime,
+		BaseSeed:     opt.Seed,
+	})
+	return ParallelResult{Result: r.Result, Winner: r.Winner}
 }
 
 // FailedAssumptions extracts a result's failed-assumption set in signed

@@ -61,6 +61,7 @@ func run() int {
 		maxConflicts = flag.Uint64("max-conflicts", 0, "abort after this many conflicts (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 0, "abort after this wall-clock time (0 = unlimited)")
 		seed         = flag.Uint64("seed", 1, "PRNG seed (deterministic reruns)")
+		jobs         = flag.Int("jobs", 1, "run a portfolio of N diversified solvers in parallel (first answer wins; learnt clauses are shared)")
 		noModel      = flag.Bool("no-model", false, "suppress the v-lines on SAT")
 		showStats    = flag.Bool("stats", false, "print search statistics to stderr")
 		proofPath    = flag.String("proof", "", "write a DRUP proof to this file")
@@ -115,6 +116,43 @@ func run() int {
 		f = outcome.Formula
 	}
 
+	// Portfolio mode: -jobs N runs N diversified configurations in
+	// parallel; the single-solver flags that pick one configuration or
+	// attach a proof do not apply, so reject them explicitly rather than
+	// silently ignoring what the user asked for.
+	if *jobs > 1 {
+		if *proofPath != "" {
+			fmt.Fprintln(os.Stderr, "-jobs and -proof are mutually exclusive (a portfolio winner has no single DRUP trace)")
+			return 1
+		}
+		conflicting := ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "config", "strategy3", "minimize":
+				conflicting = f.Name
+			}
+		})
+		if conflicting != "" {
+			fmt.Fprintf(os.Stderr, "-jobs and -%s are mutually exclusive (the portfolio picks its own diversified configurations)\n", conflicting)
+			return 1
+		}
+		start := time.Now()
+		res := berkmin.SolveParallel(f, berkmin.ParallelOptions{
+			Jobs:         *jobs,
+			MaxConflicts: *maxConflicts,
+			MaxTime:      *timeout,
+			Seed:         *seed,
+		})
+		if *showStats {
+			st := res.Stats
+			fmt.Fprintf(os.Stderr, "c portfolio jobs=%d winner=%q stop=%v\n", *jobs, res.Winner, res.Stop)
+			fmt.Fprintf(os.Stderr, "c winner: decisions=%d conflicts=%d exported=%d imported=%d\n",
+				st.Decisions, st.Conflicts, st.ExportedClauses, st.ImportedClauses)
+			fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
+		}
+		return report(res.Result, noModel, outcome)
+	}
+
 	s := berkmin.NewWithOptions(opt)
 	if *proofPath != "" {
 		pf, err := os.Create(*proofPath)
@@ -140,6 +178,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
 	}
 
+	return report(res, noModel, outcome)
+}
+
+// report prints the verdict in the SAT-competition convention and returns
+// the matching exit code — shared by the sequential and portfolio paths.
+func report(res berkmin.Result, noModel *bool, outcome *berkmin.SimplifyOutcome) int {
 	switch res.Status {
 	case berkmin.StatusSat:
 		fmt.Println("s SATISFIABLE")

@@ -30,6 +30,7 @@ func run() int {
 	var (
 		table        = flag.String("table", "all", "table number 1-10, or 'all'")
 		ablation     = flag.String("ablation", "", "run a DESIGN.md §5 ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, or 'all'")
+		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock budget (0 = unlimited)")
@@ -49,6 +50,25 @@ func run() int {
 		return 1
 	}
 	lim := bench.Limits{MaxConflicts: *maxConflicts, MaxTime: *timeout}
+
+	if *jobs != 0 {
+		if *jobs < 2 {
+			fmt.Fprintf(os.Stderr, "-portfolio needs at least 2 jobs (got %d); a 1-job portfolio is just the sequential solver\n", *jobs)
+			return 1
+		}
+		conflicting := ""
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "table" || f.Name == "ablation" {
+				conflicting = f.Name
+			}
+		})
+		if conflicting != "" {
+			fmt.Fprintf(os.Stderr, "-portfolio and -%s are mutually exclusive\n", conflicting)
+			return 1
+		}
+		fmt.Println(bench.PortfolioReport(sc, lim, *jobs).String())
+		return 0
+	}
 
 	if *ablation != "" {
 		names := []string{*ablation}

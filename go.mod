@@ -1,0 +1,3 @@
+module berkmin
+
+go 1.24

@@ -50,7 +50,7 @@ func AblationYoungFraction(sc Scale, lim Limits) *Report {
 	for _, f := range []struct{ num, den int }{{1, 16}, {1, 4}, {1, 2}, {3, 4}, {15, 16}} {
 		o := core.DefaultOptions()
 		o.YoungFracNum, o.YoungFracDen = f.num, f.den
-		cfgs = append(cfgs, Config{fmt.Sprintf("young=%d/%d", f.num, f.den), o})
+		cfgs = append(cfgs, Config{Name: fmt.Sprintf("young=%d/%d", f.num, f.den), Opt: o})
 	}
 	return ablationReport("Ablation — young-clause fraction (§8; paper uses 15/16)",
 		cfgs, sc, lim, []string{"smaller young zones delete more aggressively"})
@@ -62,7 +62,7 @@ func AblationRestart(sc Scale, lim Limits) *Report {
 	mk := func(name string, set func(*core.Options)) Config {
 		o := core.DefaultOptions()
 		set(&o)
-		return Config{name, o}
+		return Config{Name: name, Opt: o}
 	}
 	cfgs := []Config{
 		mk("fixed550", func(o *core.Options) {}),
@@ -93,7 +93,7 @@ func AblationAging(sc Scale, lim Limits) *Report {
 		if a.period == 1<<62 {
 			name = "no-aging"
 		}
-		cfgs = append(cfgs, Config{name, o})
+		cfgs = append(cfgs, Config{Name: name, Opt: o})
 	}
 	return ablationReport("Ablation — activity aging (Chaff-inherited decay)",
 		cfgs, sc, lim, nil)
@@ -105,7 +105,7 @@ func AblationNbTwo(sc Scale, lim Limits) *Report {
 	for _, th := range []int{1, 10, 100, 1000} {
 		o := core.DefaultOptions()
 		o.NbTwoThreshold = th
-		cfgs = append(cfgs, Config{fmt.Sprintf("nb_two<=%d", th), o})
+		cfgs = append(cfgs, Config{Name: fmt.Sprintf("nb_two<=%d", th), Opt: o})
 	}
 	return ablationReport("Ablation — nb_two threshold (§7; paper uses 100)",
 		cfgs, sc, lim, nil)
@@ -117,7 +117,7 @@ func AblationGlobalPick(sc Scale, lim Limits) *Report {
 	opt := core.DefaultOptions()
 	opt.OptimizedGlobalPick = true
 	return ablationReport("Ablation — global most-active pick: naive scan vs strategy 3 (Remark 1)",
-		[]Config{{"naive", naive}, {"strategy3", opt}}, sc, lim, nil)
+		[]Config{{Name: "naive", Opt: naive}, {Name: "strategy3", Opt: opt}}, sc, lim, nil)
 }
 
 // AblationMinimize measures learnt-clause minimization (post-BerkMin).
@@ -126,7 +126,7 @@ func AblationMinimize(sc Scale, lim Limits) *Report {
 	on := core.DefaultOptions()
 	on.MinimizeLearnt = true
 	return ablationReport("Ablation — learnt-clause minimization (post-BerkMin extension)",
-		[]Config{{"off", off}, {"on", on}}, sc, lim, nil)
+		[]Config{{Name: "off", Opt: off}, {Name: "on", Opt: on}}, sc, lim, nil)
 }
 
 // AblationPhaseSaving measures phase saving against the paper's §7
@@ -136,7 +136,7 @@ func AblationPhaseSaving(sc Scale, lim Limits) *Report {
 	on := core.DefaultOptions()
 	on.PhaseSaving = true
 	return ablationReport("Ablation — phase saving vs the paper's §7 polarity heuristics (post-BerkMin extension)",
-		[]Config{{"lit-activity+nb_two", off}, {"phase-saving", on}}, sc, lim, nil)
+		[]Config{{Name: "lit-activity+nb_two", Opt: off}, {Name: "phase-saving", Opt: on}}, sc, lim, nil)
 }
 
 // Ablation dispatches by name.

@@ -16,12 +16,17 @@ import (
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
 	"berkmin/internal/gen"
+	"berkmin/internal/portfolio"
 )
 
 // Config names a solver configuration under test.
 type Config struct {
 	Name string
 	Opt  core.Options
+	// Jobs > 1 benches the parallel portfolio engine instead of a single
+	// solver: N diversified members race on each instance (Opt is ignored;
+	// the portfolio picks its own diversification).
+	Jobs int
 }
 
 // Limits bounds each individual solver run. Zero fields mean unlimited.
@@ -36,25 +41,41 @@ type InstanceResult struct {
 	Family   string
 	Config   string
 	Status   core.Status
-	Aborted  bool // resource limit hit
-	Wrong    bool // answer contradicts the generator's expected status
-	Stats    core.Stats
+	// Aborted is true iff the run stopped on a configured resource limit
+	// (conflicts / decisions / time) — derived from the solver's explicit
+	// stop reason, so an interrupted or genuinely-unknown run is not
+	// misreported as a budget abort in the tables.
+	Aborted bool
+	Wrong   bool // answer contradicts the generator's expected status
+	Stats   core.Stats
 }
 
 // RunInstance solves one instance under one configuration.
 func RunInstance(inst gen.Instance, cfg Config, lim Limits) InstanceResult {
-	opt := cfg.Opt
-	opt.MaxConflicts = lim.MaxConflicts
-	opt.MaxTime = lim.MaxTime
-	s := core.New(opt)
-	s.AddFormula(inst.Formula)
-	r := s.Solve()
+	var r core.Result
+	if cfg.Jobs > 1 {
+		pr := portfolio.Solve(inst.Formula, portfolio.Options{
+			Jobs:         cfg.Jobs,
+			MaxConflicts: lim.MaxConflicts,
+			MaxTime:      lim.MaxTime,
+		})
+		r = pr.Result
+		// pr.Stats.Runtime is the winner's solve time — the wall-clock
+		// time to the answer, which is the number the tables want.
+	} else {
+		opt := cfg.Opt
+		opt.MaxConflicts = lim.MaxConflicts
+		opt.MaxTime = lim.MaxTime
+		s := core.New(opt)
+		s.AddFormula(inst.Formula)
+		r = s.Solve()
+	}
 	res := InstanceResult{
 		Instance: inst.Name,
 		Family:   inst.Family,
 		Config:   cfg.Name,
 		Status:   r.Status,
-		Aborted:  r.Status == core.StatusUnknown,
+		Aborted:  r.Stop.ResourceLimit(),
 		Stats:    r.Stats,
 	}
 	switch {

@@ -13,7 +13,7 @@ var testLimits = Limits{MaxConflicts: 200_000, MaxTime: 30 * time.Second}
 
 func TestRunInstance(t *testing.T) {
 	inst := gen.Pigeonhole(5)
-	r := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, testLimits)
+	r := RunInstance(inst, Config{Name: "berkmin", Opt: core.DefaultOptions()}, testLimits)
 	if r.Status != core.StatusUnsat || r.Aborted || r.Wrong {
 		t.Fatalf("unexpected result %+v", r)
 	}
@@ -24,7 +24,7 @@ func TestRunInstance(t *testing.T) {
 
 func TestRunInstanceAbort(t *testing.T) {
 	inst := gen.Pigeonhole(9)
-	r := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, Limits{MaxConflicts: 5})
+	r := RunInstance(inst, Config{Name: "berkmin", Opt: core.DefaultOptions()}, Limits{MaxConflicts: 5})
 	if !r.Aborted || r.Wrong {
 		t.Fatalf("expected abort, got %+v", r.Status)
 	}
@@ -32,7 +32,7 @@ func TestRunInstanceAbort(t *testing.T) {
 
 func TestRunClassAggregates(t *testing.T) {
 	insts := gen.HoleSuite(3, 3)
-	r := RunClass("Hole", insts, Config{"berkmin", core.DefaultOptions()}, testLimits)
+	r := RunClass("Hole", insts, Config{Name: "berkmin", Opt: core.DefaultOptions()}, testLimits)
 	if r.Instances != 3 || r.Aborted != 0 || r.Wrong != 0 {
 		t.Fatalf("class result %+v", r)
 	}
@@ -160,14 +160,14 @@ func TestAllConfigsAgreeOnClasses(t *testing.T) {
 		t.Skip("runs eight configurations over all classes")
 	}
 	cfgs := []Config{
-		{"berkmin", core.DefaultOptions()},
-		{"less_sens", core.LessSensitivityOptions()},
-		{"less_mob", core.LessMobilityOptions()},
-		{"limited", core.LimitedKeepingOptions()},
-		{"chaff", core.ChaffOptions()},
-		{"limmat", core.LimmatOptions()},
-		{"sat_top", core.BranchOptions(core.PolaritySatTop)},
-		{"take_rand", core.BranchOptions(core.PolarityTakeRand)},
+		{Name: "berkmin", Opt: core.DefaultOptions()},
+		{Name: "less_sens", Opt: core.LessSensitivityOptions()},
+		{Name: "less_mob", Opt: core.LessMobilityOptions()},
+		{Name: "limited", Opt: core.LimitedKeepingOptions()},
+		{Name: "chaff", Opt: core.ChaffOptions()},
+		{Name: "limmat", Opt: core.LimmatOptions()},
+		{Name: "sat_top", Opt: core.BranchOptions(core.PolaritySatTop)},
+		{Name: "take_rand", Opt: core.BranchOptions(core.PolarityTakeRand)},
 	}
 	for _, cl := range Classes(Small) {
 		for _, inst := range cl.Instances {
@@ -193,7 +193,7 @@ func TestAllConfigsAgreeOnClasses(t *testing.T) {
 
 func TestStatsString(t *testing.T) {
 	inst := gen.Pigeonhole(4)
-	r := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, testLimits)
+	r := RunInstance(inst, Config{Name: "berkmin", Opt: core.DefaultOptions()}, testLimits)
 	s := r.Stats.String()
 	if !strings.Contains(s, "decisions=") || !strings.Contains(s, "db-ratio=") {
 		t.Fatalf("stats string: %q", s)

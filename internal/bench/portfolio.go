@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"berkmin/internal/core"
+)
+
+// PortfolioReport benches the parallel portfolio engine against the
+// sequential default over every class, reporting the wall-clock speedup.
+// This is an extension beyond the paper's tables: BerkMin is sequential,
+// and the portfolio is the multi-core route to the ROADMAP's throughput
+// goal. A jobs value below 2 is raised to 2 — a 1-job portfolio is just
+// the sequential solver again; callers wanting an error instead should
+// validate first (cmd/satbench does).
+func PortfolioReport(sc Scale, lim Limits, jobs int) *Report {
+	if jobs < 2 {
+		jobs = 2
+	}
+	seq := Config{Name: "BerkMin", Opt: core.DefaultOptions()}
+	par := Config{Name: fmt.Sprintf("Portfolio-%d", jobs), Jobs: jobs}
+	rep := &Report{
+		Title:  fmt.Sprintf("Portfolio — sequential BerkMin vs %d-job portfolio with clause sharing", jobs),
+		Header: []string{"Class", "Sequential (s)", par.Name + " (s)", "Speedup"},
+		Notes: []string{
+			"speedup = sequential / portfolio wall-clock; diversified members race, first answer wins",
+		},
+	}
+	var seqTotal, parTotal ClassResult
+	for _, cl := range Classes(sc) {
+		s := RunClass(cl.Name, cl.Instances, seq, lim)
+		p := RunClass(cl.Name, cl.Instances, par, lim)
+		seqTotal.Time += s.Time
+		seqTotal.Aborted += s.Aborted
+		seqTotal.Wrong += s.Wrong
+		parTotal.Time += p.Time
+		parTotal.Aborted += p.Aborted
+		parTotal.Wrong += p.Wrong
+		rep.Rows = append(rep.Rows, []string{
+			cl.Name, fmtTotal(s, lim), fmtTotal(p, lim), fmtSpeedup(s, p),
+		})
+	}
+	rep.Rows = append(rep.Rows, []string{
+		"Total", fmtTotal(seqTotal, lim), fmtTotal(parTotal, lim), fmtSpeedup(seqTotal, parTotal),
+	})
+	if seqTotal.Wrong > 0 || parTotal.Wrong > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"WARNING: wrong answers: sequential %d, portfolio %d", seqTotal.Wrong, parTotal.Wrong))
+	}
+	return rep
+}
+
+func fmtSpeedup(seq, par ClassResult) string {
+	if par.Time <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", seq.Time.Seconds()/par.Time.Seconds())
+}

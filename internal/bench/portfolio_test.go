@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"berkmin/internal/core"
+	"berkmin/internal/gen"
+)
+
+// TestAbortedFromStopReason: Aborted must mean "a resource budget ran out",
+// derived from the solver's explicit stop reason — not merely
+// StatusUnknown.
+func TestAbortedFromStopReason(t *testing.T) {
+	cfg := Config{Name: "berkmin", Opt: core.DefaultOptions()}
+
+	r := RunInstance(gen.Pigeonhole(9), cfg, Limits{MaxConflicts: 5})
+	if !r.Aborted || r.Status != core.StatusUnknown || r.Stats.Stop != core.StopConflicts {
+		t.Fatalf("budget run misreported: %+v", r)
+	}
+
+	r = RunInstance(gen.Pigeonhole(5), cfg, testLimits)
+	if r.Aborted || r.Stats.Stop != core.StopNone {
+		t.Fatalf("completed run misreported: aborted=%v stop=%v", r.Aborted, r.Stats.Stop)
+	}
+}
+
+// TestPortfolioConfig: a Config with Jobs > 1 benches the portfolio engine
+// and keeps the expected-status bookkeeping intact.
+func TestPortfolioConfig(t *testing.T) {
+	cfg := Config{Name: "portfolio-2", Jobs: 2}
+	r := RunInstance(gen.Pigeonhole(5), cfg, testLimits)
+	if r.Status != core.StatusUnsat || r.Aborted || r.Wrong {
+		t.Fatalf("portfolio run: %+v", r)
+	}
+	if r.Config != "portfolio-2" {
+		t.Fatalf("config name lost: %q", r.Config)
+	}
+}
+
+// TestPortfolioReportRenders: the sequential-vs-portfolio report renders a
+// row per class plus a total, even under a tiny budget.
+func TestPortfolioReportRenders(t *testing.T) {
+	rep := PortfolioReport(Small, Limits{MaxConflicts: 100, MaxTime: 5 * time.Second}, 2)
+	if len(rep.Rows) != 13 { // 12 classes + Total
+		t.Fatalf("%d rows", len(rep.Rows))
+	}
+	out := rep.String()
+	if !strings.Contains(out, "Portfolio-2") || !strings.Contains(out, "Speedup") {
+		t.Fatalf("report: %s", out)
+	}
+}

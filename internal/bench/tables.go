@@ -97,8 +97,8 @@ func Table1(sc Scale, lim Limits) *Report {
 		"Table 1 — Changing sensitivity of decision-making",
 		Classes(sc),
 		[]Config{
-			{"BerkMin", core.DefaultOptions()},
-			{"Less_sensitivity", core.LessSensitivityOptions()},
+			{Name: "BerkMin", Opt: core.DefaultOptions()},
+			{Name: "Less_sensitivity", Opt: core.LessSensitivityOptions()},
 		}, lim,
 		[]string{"paper: responsible-clause bumping wins overall (20,412s vs 51,498s), especially on Hanoi/Miters/Fvp_unsat2.0"})
 }
@@ -109,8 +109,8 @@ func Table2(sc Scale, lim Limits) *Report {
 		"Table 2 — Changing mobility of decision-making",
 		Classes(sc),
 		[]Config{
-			{"BerkMin", core.DefaultOptions()},
-			{"Less_mobility", core.LessMobilityOptions()},
+			{Name: "BerkMin", Opt: core.DefaultOptions()},
+			{Name: "Less_mobility", Opt: core.LessMobilityOptions()},
 		}, lim,
 		[]string{"paper: top-clause branching wins overall (20,412s vs >258,959s with 3 aborts on Beijing/Miters/Fvp_unsat2.0)"})
 }
@@ -129,7 +129,7 @@ func Table3(sc Scale, lim Limits) *Report {
 	hists := make([]core.SkinHist, len(insts))
 	for i, inst := range insts {
 		rep.Header = append(rep.Header, fmt.Sprintf("(%d)", i+1))
-		r := RunInstance(inst, Config{"BerkMin", core.DefaultOptions()}, lim)
+		r := RunInstance(inst, Config{Name: "BerkMin", Opt: core.DefaultOptions()}, lim)
 		hists[i] = r.Stats.Skin
 	}
 	for _, r := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 50, 100, 500, 1000, 2000} {
@@ -148,12 +148,12 @@ func Table4(sc Scale, lim Limits) *Report {
 		"Table 4 — Branch selection",
 		Classes(sc),
 		[]Config{
-			{"BerkMin", core.DefaultOptions()},
-			{"Sat_top", core.BranchOptions(core.PolaritySatTop)},
-			{"Unsat_top", core.BranchOptions(core.PolarityUnsatTop)},
-			{"Take_0", core.BranchOptions(core.PolarityTake0)},
-			{"Take_1", core.BranchOptions(core.PolarityTake1)},
-			{"Take_rand", core.BranchOptions(core.PolarityTakeRand)},
+			{Name: "BerkMin", Opt: core.DefaultOptions()},
+			{Name: "Sat_top", Opt: core.BranchOptions(core.PolaritySatTop)},
+			{Name: "Unsat_top", Opt: core.BranchOptions(core.PolarityUnsatTop)},
+			{Name: "Take_0", Opt: core.BranchOptions(core.PolarityTake0)},
+			{Name: "Take_1", Opt: core.BranchOptions(core.PolarityTake1)},
+			{Name: "Take_rand", Opt: core.BranchOptions(core.PolarityTakeRand)},
 		}, lim,
 		[]string{"paper: BerkMin's lit-activity rule and Take_rand are best (20,412s / 24,845s); Unsat_top and Take_1 abort instances"})
 }
@@ -164,8 +164,8 @@ func Table5(sc Scale, lim Limits) *Report {
 		"Table 5 — Database management",
 		Classes(sc),
 		[]Config{
-			{"BerkMin", core.DefaultOptions()},
-			{"Limited_keeping", core.LimitedKeepingOptions()},
+			{Name: "BerkMin", Opt: core.DefaultOptions()},
+			{Name: "Limited_keeping", Opt: core.LimitedKeepingOptions()},
 		}, lim,
 		[]string{"paper: age/activity/length management wins overall (20,412s vs 57,881s), >2x on Hanoi/Miters/Fvp_unsat2.0"})
 }
@@ -180,8 +180,8 @@ func Table6(sc Scale, lim Limits) *Report {
 		Notes:  []string{"paper: mixed wins; e.g. Chaff better on Hole, BerkMin on Sss/Vliw classes"},
 	}
 	for _, cl := range classes {
-		ch := RunClass(cl.Name, cl.Instances, Config{"chaff", core.ChaffOptions()}, lim)
-		bm := RunClass(cl.Name, cl.Instances, Config{"berkmin", core.DefaultOptions()}, lim)
+		ch := RunClass(cl.Name, cl.Instances, Config{Name: "chaff", Opt: core.ChaffOptions()}, lim)
+		bm := RunClass(cl.Name, cl.Instances, Config{Name: "berkmin", Opt: core.DefaultOptions()}, lim)
 		rep.Rows = append(rep.Rows, []string{
 			cl.Name, fmt.Sprintf("%d", len(cl.Instances)), fmtTotal(ch, lim), fmtTotal(bm, lim),
 		})
@@ -199,8 +199,8 @@ func Table7(sc Scale, lim Limits) *Report {
 		Notes:  []string{"paper: Chaff aborts instances of Beijing/Miters/Fvp-unsat2.0; BerkMin aborts none"},
 	}
 	for _, cl := range classes {
-		ch := RunClass(cl.Name, cl.Instances, Config{"chaff", core.ChaffOptions()}, lim)
-		bm := RunClass(cl.Name, cl.Instances, Config{"berkmin", core.DefaultOptions()}, lim)
+		ch := RunClass(cl.Name, cl.Instances, Config{Name: "chaff", Opt: core.ChaffOptions()}, lim)
+		bm := RunClass(cl.Name, cl.Instances, Config{Name: "berkmin", Opt: core.DefaultOptions()}, lim)
 		rep.Rows = append(rep.Rows, []string{
 			cl.Name, fmt.Sprintf("%d", len(cl.Instances)),
 			fmtSeconds(ch.Time), fmt.Sprintf("%d", ch.Aborted),
@@ -219,8 +219,8 @@ func Table8(sc Scale, lim Limits) *Report {
 		Notes:  []string{"paper: BerkMin wins because it builds smaller search trees (fewer decisions)"},
 	}
 	for _, inst := range insts {
-		ch := RunInstance(inst, Config{"chaff", core.ChaffOptions()}, lim)
-		bm := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, lim)
+		ch := RunInstance(inst, Config{Name: "chaff", Opt: core.ChaffOptions()}, lim)
+		bm := RunInstance(inst, Config{Name: "berkmin", Opt: core.DefaultOptions()}, lim)
 		rep.Rows = append(rep.Rows, []string{
 			inst.Name, inst.Expected.String(),
 			fmtCount(ch), fmtTime(ch),
@@ -259,8 +259,8 @@ func Table9(sc Scale, lim Limits) *Report {
 		},
 	}
 	for _, inst := range insts {
-		ch := RunInstance(inst, Config{"chaff", core.ChaffOptions()}, lim)
-		bm := RunInstance(inst, Config{"berkmin", core.DefaultOptions()}, lim)
+		ch := RunInstance(inst, Config{Name: "chaff", Opt: core.ChaffOptions()}, lim)
+		bm := RunInstance(inst, Config{Name: "berkmin", Opt: core.DefaultOptions()}, lim)
 		rep.Rows = append(rep.Rows, []string{
 			inst.Name, inst.Expected.String(),
 			fmt.Sprintf("%.2f", ch.Stats.DatabaseRatio()),
@@ -276,9 +276,9 @@ func Table9(sc Scale, lim Limits) *Report {
 func Table10(sc Scale, lim Limits) *Report {
 	insts := CompetitionSet(sc)
 	cfgs := []Config{
-		{"BerkMin", core.DefaultOptions()},
-		{"limmat-like", core.LimmatOptions()},
-		{"zChaff-like", core.ChaffOptions()},
+		{Name: "BerkMin", Opt: core.DefaultOptions()},
+		{Name: "limmat-like", Opt: core.LimmatOptions()},
+		{Name: "zChaff-like", Opt: core.ChaffOptions()},
 	}
 	rep := &Report{
 		Title:  "Table 10 — Performance on SAT-2002-competition-style instances ('*' = not solved within the limit)",

@@ -164,6 +164,7 @@ func (s *Solver) record(learnt []cnf.Lit) {
 	for _, l := range learnt {
 		s.litAct[l]++
 	}
+	s.exportLearnt(learnt)
 	s.proofAdd(learnt)
 	if len(learnt) == 1 {
 		// Asserted at level 0; nothing is stored, the assignment is kept.

@@ -1,0 +1,105 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// Learnt-clause exchange — the solver side of portfolio parallel solving
+// (package portfolio). One solver exports the short clauses it learns;
+// other solvers working on the same formula import them as extra learnt
+// clauses. Everything here preserves the engine's single-threaded design:
+// Import only appends to a mutex-guarded queue, and the queue is drained by
+// the search loop itself at decision level 0, where attaching a clause
+// cannot violate the two-watched-literal invariants (after level-0
+// simplification every remaining literal is unassigned).
+
+// SetLearntExport installs a hook that observes every learnt clause of at
+// most maxLen literals, including units. The slice passed to fn is a fresh
+// copy that fn may retain; fn runs on the solving goroutine, so it must be
+// fast and must not call back into this solver. A nil fn (or maxLen <= 0)
+// disables exporting.
+func (s *Solver) SetLearntExport(maxLen int, fn func(lits []cnf.Lit)) {
+	s.exportMaxLen = maxLen
+	s.exportFn = fn
+}
+
+// exportLearnt hands a just-learnt clause to the export hook. The copy is
+// mandatory: learnt slices are aliased by the live clause, whose literal
+// order is permuted by propagation.
+func (s *Solver) exportLearnt(lits []cnf.Lit) {
+	if s.exportFn == nil || s.exportMaxLen <= 0 || len(lits) > s.exportMaxLen {
+		return
+	}
+	s.stats.ExportedClauses++
+	s.exportFn(append([]cnf.Lit(nil), lits...))
+}
+
+// Import queues a clause learnt elsewhere for integration into this
+// solver's database. It is safe to call from any goroutine, including while
+// Solve runs; the clause is picked up the next time the search passes
+// decision level 0 (every restart, at the latest).
+//
+// The caller guarantees the clause is a logical consequence of the formula
+// this solver is working on — e.g. a clause learnt by another CDCL solver
+// on the same input. Imports are silently dropped when DRUP proof logging
+// is enabled: a foreign clause need not be RUP with respect to this
+// solver's database, so logging it would corrupt the proof.
+func (s *Solver) Import(lits []cnf.Lit) {
+	if s.proof != nil || len(lits) == 0 {
+		return
+	}
+	cp := append([]cnf.Lit(nil), lits...)
+	s.importMu.Lock()
+	s.importQ = append(s.importQ, cp)
+	s.importPending.Store(1)
+	s.importMu.Unlock()
+}
+
+// drainImports integrates all queued foreign clauses. Must be called at
+// decision level 0. It returns false if an import exposes level-0
+// unsatisfiability.
+func (s *Solver) drainImports() bool {
+	s.importMu.Lock()
+	queue := s.importQ
+	s.importQ = nil
+	s.importPending.Store(0)
+	s.importMu.Unlock()
+
+	for _, lits := range queue {
+		if v := int(cnf.Clause(lits).MaxVar()); v > s.nVars {
+			s.ensureVars(v)
+		}
+		norm, taut := cnf.Clause(lits).Normalize()
+		if taut {
+			continue
+		}
+		// Simplify against the level-0 assignment, like AddClause.
+		out := norm[:0]
+		satisfied := false
+		for _, l := range norm {
+			switch s.value(l) {
+			case lTrue:
+				satisfied = true
+			case lUndef:
+				out = append(out, l)
+			}
+		}
+		if satisfied {
+			continue
+		}
+		s.stats.ImportedClauses++
+		switch len(out) {
+		case 0:
+			return false
+		case 1:
+			if !s.enqueue(out[0], nil) {
+				return false
+			}
+			// Propagation happens in the main loop before the next decision.
+		default:
+			c := &clause{lits: append([]cnf.Lit(nil), out...), learnt: true}
+			s.learnts = append(s.learnts, c)
+			s.attach(c)
+			s.notePeak()
+		}
+	}
+	return true
+}

@@ -11,6 +11,8 @@ package core
 
 import (
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"berkmin/internal/cnf"
@@ -42,6 +44,10 @@ func (s Status) String() string {
 // Result is the outcome of a Solve call.
 type Result struct {
 	Status Status
+	// Stop says why the call returned: StopNone for a definitive answer,
+	// otherwise the limit hit (conflicts / decisions / time) or
+	// StopInterrupted for an external Interrupt.
+	Stop StopReason
 	// Model is the satisfying assignment when Status == StatusSat;
 	// Model[v] is the value of variable v (index 0 unused).
 	Model []bool
@@ -92,16 +98,27 @@ type Solver struct {
 	debugLearnt   func([]cnf.Lit)
 	debugConflict func(*clause)
 
-	ok           bool // false once UNSAT is established at level 0
-	restartLimit int  // conflicts until next restart
-	lubyIndex    int
-	sinceRestart uint64
-	sinceAging   uint64
-	sinceMark    int
-	oldThreshold int64 // ReduceBerkMin's growing old-clause activity threshold
-	stats        Stats
-	deadline     time.Time
-	proof        io.Writer // optional DRUP proof log
+	// Cross-thread communication. interrupted is the only field of the
+	// solver that may be touched from another goroutine without the import
+	// mutex; everything else remains single-threaded.
+	interrupted   atomic.Bool
+	importMu      sync.Mutex
+	importQ       [][]cnf.Lit
+	importPending atomic.Int32
+	exportMaxLen  int
+	exportFn      func([]cnf.Lit)
+
+	ok             bool // false once UNSAT is established at level 0
+	sinceTimeCheck uint64
+	restartLimit   int // conflicts until next restart
+	lubyIndex      int
+	sinceRestart   uint64
+	sinceAging     uint64
+	sinceMark      int
+	oldThreshold   int64 // ReduceBerkMin's growing old-clause activity threshold
+	stats          Stats
+	deadline       time.Time
+	proof          io.Writer // optional DRUP proof log
 }
 
 // New returns a Solver with the given options.
@@ -318,10 +335,16 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 		s.deadline = time.Time{}
 	}
 	if !s.ok {
-		return Result{Status: StatusUnsat, Stats: s.stats}
+		return s.finish(StatusUnsat, nil)
 	}
 
 	for {
+		if s.decisionLevel() == 0 && s.importPending.Load() != 0 {
+			if !s.drainImports() {
+				s.ok = false
+				return s.finish(StatusUnsat, nil)
+			}
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++
@@ -330,7 +353,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				s.proofEmpty()
-				return Result{Status: StatusUnsat, Stats: s.stats}
+				return s.finish(StatusUnsat, nil)
 			}
 			learnt, btLevel := s.analyze(confl)
 			// Backtracking below the assumption levels is fine: the decide
@@ -342,19 +365,19 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 				s.sinceAging = 0
 				s.age()
 			}
-			if s.limitExceeded() {
-				return Result{Status: StatusUnknown, Stats: s.stats}
+			if r := s.stopRequested(); r != StopNone {
+				return s.abort(r)
 			}
 			if s.opt.Restart != RestartNever && int(s.sinceRestart) >= s.restartLimit {
 				s.restart()
 				if !s.ok {
-					return Result{Status: StatusUnsat, Stats: s.stats}
+					return s.finish(StatusUnsat, nil)
 				}
 			}
 			continue
 		}
-		if s.limitExceeded() {
-			return Result{Status: StatusUnknown, Stats: s.stats}
+		if r := s.stopRequested(); r != StopNone {
+			return s.abort(r)
 		}
 		// Assert pending assumptions before any free decision.
 		var next cnf.Lit
@@ -365,7 +388,9 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 				s.newDecisionLevel() // dummy level keeps the indexing aligned
 			case lFalse:
 				failed := s.analyzeFinal(p)
-				return Result{Status: StatusUnsat, FailedAssumptions: failed, Stats: s.stats}
+				r := s.finish(StatusUnsat, nil)
+				r.FailedAssumptions = failed
+				return r
 			default:
 				next = p
 			}
@@ -373,8 +398,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 		if next == cnf.LitUndef {
 			next = s.decide()
 			if next == cnf.LitUndef {
-				model := s.extractModel()
-				return Result{Status: StatusSat, Model: model, Stats: s.stats}
+				return s.finish(StatusSat, s.extractModel())
 			}
 		}
 		s.stats.Decisions++
@@ -383,20 +407,53 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 	}
 }
 
-func (s *Solver) limitExceeded() bool {
+// finish records a definitive answer's stop reason and builds the Result.
+func (s *Solver) finish(st Status, model []bool) Result {
+	s.stats.Stop = StopNone
+	return Result{Status: st, Stop: StopNone, Model: model, Stats: s.stats}
+}
+
+// abort records why the search is being cut short and returns Unknown.
+func (s *Solver) abort(r StopReason) Result {
+	s.stats.Stop = r
+	return Result{Status: StatusUnknown, Stop: r, Stats: s.stats}
+}
+
+// stopRequested reports whether the search should stop now, and why. It is
+// checked after every conflict and before every decision, which bounds the
+// latency of an Interrupt by one propagation fixpoint. The wall-clock
+// deadline is polled every 1024 checks — not every 1024 conflicts, so a
+// conflict-sparse search (many decisions, few conflicts) still honors
+// MaxTime with bounded overrun.
+func (s *Solver) stopRequested() StopReason {
+	if s.interrupted.Load() {
+		return StopInterrupted
+	}
 	if s.opt.MaxConflicts > 0 && s.stats.Conflicts >= s.opt.MaxConflicts {
-		return true
+		return StopConflicts
 	}
 	if s.opt.MaxDecisions > 0 && s.stats.Decisions >= s.opt.MaxDecisions {
-		return true
+		return StopDecisions
 	}
-	if !s.deadline.IsZero() && s.stats.Conflicts&0x3FF == 0 {
-		if time.Now().After(s.deadline) {
-			return true
+	if !s.deadline.IsZero() {
+		s.sinceTimeCheck++
+		if s.sinceTimeCheck&0x3FF == 1 && time.Now().After(s.deadline) {
+			return StopTime
 		}
 	}
-	return false
+	return StopNone
 }
+
+// Interrupt asks a running Solve to return StatusUnknown with
+// StopInterrupted as soon as possible. It is the only Solver method safe to
+// call from another goroutine (besides Import), and is sticky: once set,
+// every subsequent Solve returns immediately until ClearInterrupt is
+// called. Interrupting before Solve starts is therefore race-free.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms a solver that was interrupted, so it can be used
+// incrementally again.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
 
 // extractModel snapshots the current total assignment.
 func (s *Solver) extractModel() []bool {

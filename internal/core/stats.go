@@ -37,12 +37,65 @@ func (h *SkinHist) Total() uint64 {
 	return t
 }
 
+// StopReason says why a Solve call returned. Definitive answers carry
+// StopNone; StatusUnknown always carries the specific limit that was hit,
+// so callers can distinguish a resource-limited run from one cancelled via
+// Interrupt.
+type StopReason int
+
+const (
+	// StopNone: the solver returned a definitive SAT/UNSAT answer.
+	StopNone StopReason = iota
+	// StopConflicts: Options.MaxConflicts was reached.
+	StopConflicts
+	// StopDecisions: Options.MaxDecisions was reached.
+	StopDecisions
+	// StopTime: Options.MaxTime elapsed.
+	StopTime
+	// StopInterrupted: Interrupt was called.
+	StopInterrupted
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopConflicts:
+		return "conflict-limit"
+	case StopDecisions:
+		return "decision-limit"
+	case StopTime:
+		return "time-limit"
+	case StopInterrupted:
+		return "interrupted"
+	default:
+		return "unknown"
+	}
+}
+
+// ResourceLimit reports whether the run stopped because a configured
+// resource budget (conflicts, decisions or time) ran out — as opposed to
+// answering, or being interrupted from outside.
+func (r StopReason) ResourceLimit() bool {
+	return r == StopConflicts || r == StopDecisions || r == StopTime
+}
+
 // Stats aggregates everything the paper's tables report about a run.
 type Stats struct {
 	Decisions    uint64
 	Conflicts    uint64
 	Propagations uint64
 	Restarts     uint64
+
+	// Stop is why the most recent Solve call returned (per-call, not
+	// cumulative).
+	Stop StopReason
+
+	// ExportedClauses counts learnt clauses handed to the export hook;
+	// ImportedClauses counts foreign clauses integrated via Import
+	// (portfolio clause sharing).
+	ExportedClauses uint64
+	ImportedClauses uint64
 
 	// TopClauseDecisions counts decisions made on the current top clause;
 	// GlobalDecisions counts decisions made on the whole formula (all

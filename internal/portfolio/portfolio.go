@@ -1,0 +1,273 @@
+// Package portfolio runs a portfolio of diversified core.Solver instances
+// on the same formula concurrently: the first definitive answer wins and
+// cancels the rest via core.Solver.Interrupt, and the solvers periodically
+// exchange short learnt clauses through the export/import hooks of package
+// core. Portfolio solving with clause sharing is the standard route to
+// robust parallel speedups for CDCL solvers (ManySAT-style); BerkMin itself
+// is sequential, so everything here is an extension beyond the paper.
+package portfolio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+)
+
+// DefaultShareMaxLen is the default length cap for exchanged learnt
+// clauses: short clauses prune the most and cost the least to integrate.
+const DefaultShareMaxLen = 8
+
+// Config names one solver configuration of the portfolio.
+type Config struct {
+	Name string
+	Opt  core.Options
+}
+
+// Options configures a portfolio solve.
+type Options struct {
+	// Jobs is the number of concurrent solvers. <= 0 means GOMAXPROCS.
+	Jobs int
+	// ShareMaxLen caps the length of exchanged learnt clauses: 0 means
+	// DefaultShareMaxLen, negative disables sharing entirely.
+	ShareMaxLen int
+	// Per-solver resource budgets, as in core.Options. When non-zero they
+	// override the corresponding budget of every member configuration;
+	// when zero, each member keeps the budget set in its own Opt.
+	MaxConflicts uint64
+	MaxTime      time.Duration
+	// BaseSeed diversifies the per-job PRNG seeds (0 means 1).
+	BaseSeed uint64
+	// Configs overrides the default diversification; when set, its length
+	// determines the number of jobs and Jobs is ignored.
+	Configs []Config
+}
+
+// JobRun is the outcome of one portfolio member.
+type JobRun struct {
+	Config string
+	Result core.Result
+}
+
+// Result is the portfolio outcome: the winning job's core.Result plus
+// per-job provenance. When no job answers within its budget, Status is
+// StatusUnknown and Stop carries a representative stop reason (a resource
+// limit if any job hit one).
+type Result struct {
+	core.Result
+	// Winner is the Config name of the job that produced the answer
+	// (empty when every job returned StatusUnknown).
+	Winner string
+	// Jobs holds every member's result, indexed as in the configuration
+	// list; losers that were cancelled report StopInterrupted.
+	Jobs []JobRun
+}
+
+// SharedClauses sums the clauses each member exported to the others.
+func (r *Result) SharedClauses() uint64 {
+	var n uint64
+	for _, j := range r.Jobs {
+		n += j.Result.Stats.ExportedClauses
+	}
+	return n
+}
+
+// Variants returns n named, deliberately different solver configurations:
+// the paper's presets (BerkMin, zChaff-like, limmat-like), restart-policy
+// and polarity variants, and — beyond the first eight — seed-shifted copies
+// of the same cycle, so any n is valid.
+func Variants(n int, baseSeed uint64) []Config {
+	if baseSeed == 0 {
+		baseSeed = 1
+	}
+	base := []Config{
+		{"berkmin", core.DefaultOptions()},
+		{"chaff", core.ChaffOptions()},
+		{"limmat", core.LimmatOptions()},
+		{"berkmin-luby", lubyOptions()},
+		{"berkmin-s3", strategy3Options()},
+		{"berkmin-rand", core.BranchOptions(core.PolarityTakeRand)},
+		{"chaff-phase", chaffPhaseOptions()},
+		{"berkmin-geo", geometricOptions()},
+	}
+	out := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		c := base[i%len(base)]
+		c.Opt.Seed = baseSeed + uint64(i)
+		if i >= len(base) {
+			c.Name = fmt.Sprintf("%s#%d", c.Name, i/len(base))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func lubyOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Restart = core.RestartLuby
+	o.RestartFirst = 100
+	return o
+}
+
+func strategy3Options() core.Options {
+	o := core.DefaultOptions()
+	o.OptimizedGlobalPick = true
+	return o
+}
+
+func chaffPhaseOptions() core.Options {
+	o := core.ChaffOptions()
+	o.PhaseSaving = true
+	return o
+}
+
+func geometricOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Restart = core.RestartGeometric
+	o.RestartFirst = 100
+	o.RestartFactor = 1.5
+	return o
+}
+
+// hub fans exported clauses out to every other member, deduplicating so a
+// clause learnt by several solvers is not re-broadcast endlessly. The
+// dedup memory is bounded: past maxSeen entries the map is reset, trading
+// an occasional re-broadcast (harmless — members drop duplicates they
+// already hold as satisfied or re-learn cheaply) for capped growth on
+// hours-long solves.
+type hub struct {
+	mu      sync.Mutex
+	seen    map[string]struct{}
+	solvers []*core.Solver
+}
+
+// maxSeen caps the dedup map; at ~40 bytes/entry this bounds the hub near
+// tens of MB even on marathon runs.
+const maxSeen = 1 << 19
+
+func newHub(solvers []*core.Solver) *hub {
+	return &hub{seen: make(map[string]struct{}), solvers: solvers}
+}
+
+// key canonicalizes a clause (sorted literal order) so duplicates collide.
+func key(lits []cnf.Lit) string {
+	c, _ := cnf.Clause(append([]cnf.Lit(nil), lits...)).Normalize()
+	b := make([]byte, 0, 4*len(c))
+	for _, l := range c {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+func (h *hub) publish(from int, lits []cnf.Lit) {
+	k := key(lits)
+	h.mu.Lock()
+	if _, dup := h.seen[k]; dup {
+		h.mu.Unlock()
+		return
+	}
+	if len(h.seen) >= maxSeen {
+		h.seen = make(map[string]struct{})
+	}
+	h.seen[k] = struct{}{}
+	h.mu.Unlock()
+	for i, s := range h.solvers {
+		if i != from {
+			s.Import(lits)
+		}
+	}
+}
+
+// Solve runs the portfolio to the first definitive answer. All members are
+// always waited for before returning, so no goroutine outlives the call.
+func Solve(f *cnf.Formula, opt Options) Result {
+	cfgs := opt.Configs
+	if len(cfgs) == 0 {
+		jobs := opt.Jobs
+		if jobs <= 0 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+		cfgs = Variants(jobs, opt.BaseSeed)
+	}
+	n := len(cfgs)
+	shareLen := opt.ShareMaxLen
+	if shareLen == 0 {
+		shareLen = DefaultShareMaxLen
+	}
+
+	solvers := make([]*core.Solver, n)
+	for i, cfg := range cfgs {
+		o := cfg.Opt
+		if opt.MaxConflicts > 0 {
+			o.MaxConflicts = opt.MaxConflicts
+		}
+		if opt.MaxTime > 0 {
+			o.MaxTime = opt.MaxTime
+		}
+		solvers[i] = core.New(o)
+	}
+	if shareLen > 0 && n > 1 {
+		h := newHub(solvers)
+		for i := range solvers {
+			i := i
+			solvers[i].SetLearntExport(shareLen, func(lits []cnf.Lit) {
+				h.publish(i, lits)
+			})
+		}
+	}
+
+	type outcome struct {
+		idx int
+		res core.Result
+	}
+	ch := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := range solvers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := solvers[i]
+			s.AddFormula(f)
+			ch <- outcome{i, s.Solve()}
+		}(i)
+	}
+
+	runs := make([]JobRun, n)
+	winner := -1
+	for k := 0; k < n; k++ {
+		o := <-ch
+		runs[o.idx] = JobRun{Config: cfgs[o.idx].Name, Result: o.res}
+		if winner < 0 && o.res.Status != core.StatusUnknown {
+			winner = o.idx
+			for j := range solvers {
+				if j != o.idx {
+					solvers[j].Interrupt()
+				}
+			}
+		}
+	}
+	wg.Wait()
+
+	if winner >= 0 {
+		win := runs[winner].Result
+		if win.Status == core.StatusSat && !cnf.Assignment(win.Model).Satisfies(f) {
+			// A wrong model here would mean unsound clause sharing; fail
+			// loudly rather than hand back a bad witness.
+			panic("portfolio: internal error: winning model does not satisfy the formula")
+		}
+		return Result{Result: win, Winner: cfgs[winner].Name, Jobs: runs}
+	}
+	// Every member ran out of budget: report a representative run,
+	// preferring one stopped by a resource limit over other reasons.
+	rep := runs[0].Result
+	for _, r := range runs {
+		if r.Result.Stop.ResourceLimit() {
+			rep = r.Result
+			break
+		}
+	}
+	return Result{Result: rep, Jobs: runs}
+}

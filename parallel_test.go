@@ -1,0 +1,62 @@
+package berkmin_test
+
+import (
+	"testing"
+	"time"
+
+	"berkmin"
+)
+
+// TestSolveParallel: the public portfolio entry point agrees with the
+// sequential solver and reports its winner.
+func TestSolveParallel(t *testing.T) {
+	unsat := berkmin.Pigeonhole(6)
+	r := berkmin.SolveParallel(unsat.Formula, berkmin.ParallelOptions{Jobs: 3})
+	if r.Status != berkmin.StatusUnsat {
+		t.Fatalf("pigeonhole: %v", r.Status)
+	}
+	if r.Winner == "" {
+		t.Fatal("no winner reported")
+	}
+
+	sat := berkmin.Hanoi(3)
+	r = berkmin.SolveParallel(sat.Formula, berkmin.ParallelOptions{Jobs: 3})
+	if r.Status != berkmin.StatusSat {
+		t.Fatalf("hanoi: %v", r.Status)
+	}
+	if len(r.Model) == 0 {
+		t.Fatal("SAT without a model")
+	}
+}
+
+// TestSolveParallelBudget: exhausted budgets surface as StatusUnknown with
+// an explicit resource-limit stop reason.
+func TestSolveParallelBudget(t *testing.T) {
+	hard := berkmin.Pigeonhole(10)
+	r := berkmin.SolveParallel(hard.Formula, berkmin.ParallelOptions{Jobs: 2, MaxConflicts: 10})
+	if r.Status != berkmin.StatusUnknown {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !r.Stop.ResourceLimit() {
+		t.Fatalf("stop = %v", r.Stop)
+	}
+}
+
+// TestInterruptPublicAPI: the root-package Solver exposes the core
+// cancellation path.
+func TestInterruptPublicAPI(t *testing.T) {
+	s := berkmin.New()
+	s.AddFormula(berkmin.Pigeonhole(11).Formula)
+	done := make(chan berkmin.Result, 1)
+	go func() { done <- s.Solve() }()
+	time.Sleep(20 * time.Millisecond)
+	s.Interrupt()
+	select {
+	case r := <-done:
+		if r.Status != berkmin.StatusUnknown || r.Stop != berkmin.StopInterrupted {
+			t.Fatalf("got %v/%v", r.Status, r.Stop)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no prompt return after Interrupt")
+	}
+}
