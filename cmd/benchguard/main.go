@@ -1,0 +1,253 @@
+// Command benchguard gates CI on benchmark memory regressions. It parses
+// `go test -bench -benchmem` output, compares each benchmark's allocs/op
+// against a checked-in baseline, writes a machine-readable report, and
+// exits non-zero when any benchmark regresses by more than the allowed
+// margin (default 20%, plus a half-alloc absolute slack so a 0-alloc
+// baseline still tolerates measurement noise but not a real allocation).
+//
+// ns/op and B/op are recorded in the report for trend inspection but are
+// not gated: CI runners have wildly varying clock speeds, while alloc
+// counts are deterministic for a deterministic solver.
+//
+// Usage:
+//
+//	go test -bench 'Propagate|Solve' -benchmem -run '^$' ./... | tee bench.out
+//	benchguard -baseline .github/bench-baseline.json -out BENCH_2.json bench.out
+//	benchguard -baseline .github/bench-baseline.json -update bench.out   # refresh baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+type baseline struct {
+	Note       string                   `json:"note,omitempty"`
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NsPerOp is informational only (recorded at baseline-update time on
+	// whatever machine ran it); it is never gated.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+}
+
+type measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type verdict struct {
+	measurement
+	BaselineAllocs *float64 `json:"baseline_allocs_per_op,omitempty"`
+	Status         string   `json:"status"` // ok | regression | improved | new
+}
+
+type report struct {
+	Schema    string    `json:"schema"`
+	Go        string    `json:"go"`
+	MarginPct float64   `json:"margin_pct"`
+	Pass      bool      `json:"pass"`
+	Failures  []string  `json:"failures,omitempty"`
+	Results   []verdict `json:"results"`
+}
+
+// benchLine matches one -benchmem result line, e.g.
+//
+//	BenchmarkPropagate-8   40216   28979 ns/op   0 B/op   0 allocs/op
+//
+// The optional throughput column (MB/s) some benchmarks emit is skipped.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ [A-Za-z/]+)??\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		baselinePath = flag.String("baseline", ".github/bench-baseline.json", "checked-in baseline file")
+		outPath      = flag.String("out", "", "write the comparison report (JSON) here")
+		margin       = flag.Float64("margin", 20, "allowed allocs/op regression, percent")
+		update       = flag.Bool("update", false, "rewrite the baseline from the measured values instead of gating")
+	)
+	flag.Parse()
+
+	measured, err := parseInputs(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 2
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results found in input")
+		return 2
+	}
+
+	if *update {
+		return writeBaseline(*baselinePath, measured)
+	}
+
+	base, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 2
+	}
+
+	rep := compare(base, measured, *margin)
+	if *outPath != "" {
+		if err := writeJSON(*outPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			return 2
+		}
+	}
+	for _, v := range rep.Results {
+		extra := ""
+		if v.BaselineAllocs != nil {
+			extra = fmt.Sprintf(" (baseline %.0f)", *v.BaselineAllocs)
+		}
+		fmt.Printf("%-12s %-28s %12.0f ns/op %10.0f B/op %8.0f allocs/op%s\n",
+			v.Status, v.Name, v.NsPerOp, v.BytesPerOp, v.AllocsPerOp, extra)
+	}
+	if !rep.Pass {
+		for _, f := range rep.Failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return 1
+	}
+	fmt.Println("benchguard: all benchmarks within the allocation budget")
+	return 0
+}
+
+func parseInputs(paths []string) (map[string]measurement, error) {
+	measured := map[string]measurement{}
+	readFrom := func(r io.Reader, name string) error {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			ns, _ := strconv.ParseFloat(m[2], 64)
+			bytes, _ := strconv.ParseFloat(m[3], 64)
+			allocs, _ := strconv.ParseFloat(m[4], 64)
+			if prev, dup := measured[m[1]]; dup {
+				// -count>1 or multiple packages: keep the worst allocs/op
+				// so flakiness cannot hide a regression.
+				if prev.AllocsPerOp >= allocs {
+					continue
+				}
+			}
+			measured[m[1]] = measurement{Name: m[1], NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("reading %s: %w", name, err)
+		}
+		return nil
+	}
+	if len(paths) == 0 {
+		return measured, readFrom(os.Stdin, "stdin")
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = readFrom(f, p)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return measured, nil
+}
+
+func readBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func compare(base *baseline, measured map[string]measurement, marginPct float64) *report {
+	rep := &report{Schema: "berkmin-bench/1", Go: runtime.Version(), MarginPct: marginPct, Pass: true}
+	names := make([]string, 0, len(measured))
+	for n := range measured {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := measured[n]
+		v := verdict{measurement: m, Status: "new"}
+		if be, ok := base.Benchmarks[n]; ok {
+			b := be.AllocsPerOp
+			v.BaselineAllocs = &b
+			// 20% relative margin plus half an allocation of absolute
+			// slack: a 0-alloc baseline fails on the first real
+			// allocation, a large baseline tolerates rounding.
+			allowed := b*(1+marginPct/100) + 0.5
+			switch {
+			case m.AllocsPerOp > allowed:
+				v.Status = "regression"
+				rep.Pass = false
+				rep.Failures = append(rep.Failures, fmt.Sprintf(
+					"%s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%%",
+					n, m.AllocsPerOp, b, marginPct))
+			case m.AllocsPerOp < b:
+				v.Status = "improved"
+			default:
+				v.Status = "ok"
+			}
+		}
+		rep.Results = append(rep.Results, v)
+	}
+	// A baseline benchmark that no longer runs is a silent coverage loss:
+	// gate on it so renames update the baseline deliberately.
+	for n := range base.Benchmarks {
+		if _, ok := measured[n]; !ok {
+			rep.Pass = false
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: in baseline but absent from benchmark output", n))
+		}
+	}
+	return rep
+}
+
+func writeBaseline(path string, measured map[string]measurement) int {
+	b := baseline{
+		Note:       "allocs/op baselines for the CI bench gate; refresh with: go run ./cmd/benchguard -baseline " + path + " -update <bench output>",
+		Benchmarks: map[string]baselineEntry{},
+	}
+	for n, m := range measured {
+		b.Benchmarks[n] = baselineEntry{AllocsPerOp: m.AllocsPerOp, NsPerOp: m.NsPerOp}
+	}
+	if err := writeJSON(path, b); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		return 2
+	}
+	fmt.Printf("benchguard: wrote %d baselines to %s\n", len(b.Benchmarks), path)
+	return 0
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"berkmin/internal/core"
+)
+
+// BenchmarkSolveSmoke is the CI perf-smoke benchmark: the default BerkMin
+// configuration over the small-scale pigeonhole (Hole), graph (Beijing)
+// and velev-style (Sss1.0) classes of the paper's evaluation. It tracks
+// end-to-end solve cost — parsing-free, generator-fed — so a regression in
+// propagation, analysis or database management shows up here even when the
+// microbenchmarks stay flat.
+func BenchmarkSolveSmoke(b *testing.B) {
+	classes := Classes(Small)
+	want := map[string]bool{"Hole": true, "Beijing": true, "Sss1.0": true}
+	cfg := Config{Name: "berkmin", Opt: core.DefaultOptions()}
+	lim := Limits{MaxConflicts: 200_000, MaxTime: 30 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cl := range classes {
+			if !want[cl.Name] {
+				continue
+			}
+			for _, inst := range cl.Instances {
+				r := RunInstance(inst, cfg, lim)
+				if r.Wrong {
+					b.Fatalf("%s: wrong answer %v", inst.Name, r.Status)
+				}
+			}
+		}
+	}
+}

@@ -13,7 +13,7 @@ import "berkmin/internal/cnf"
 // conflict" (§2): BerkMin's sensitivity rule (§4) bumps var_activity once
 // per literal occurrence in each of them, and clause_activity(C) counts the
 // conflicts C has been responsible for (§8).
-func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
+func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 	if s.debugConflict != nil {
 		s.debugConflict(confl)
 	}
@@ -31,7 +31,7 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 		if p != cnf.LitUndef {
 			start = 1 // skip the propagated literal itself
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range s.ca.lits(confl)[start:] {
 			v := q.Var()
 			if s.seen[v] || s.vlevel[v] == 0 {
 				continue
@@ -94,17 +94,18 @@ func (s *Solver) analyze(confl *clause) ([]cnf.Lit, int) {
 	}
 	s.analyzeBuf = learnt // reuse the buffer next time
 
-	out := make([]cnf.Lit, len(learnt))
-	copy(out, learnt)
-	return out, btLevel
+	// The returned slice is the analysis scratch buffer: valid until the
+	// next analyze call. record copies it into the arena immediately, so
+	// the search loop learns a clause without a single heap allocation.
+	return learnt, btLevel
 }
 
 // bumpResponsible applies BerkMin's sensitivity rule (§4) and clause
 // activity accounting (§8) to one clause responsible for the conflict.
-func (s *Solver) bumpResponsible(c *clause) {
-	c.act++
+func (s *Solver) bumpResponsible(c clauseRef) {
+	s.ca.bumpAct(c)
 	if s.opt.Sensitivity == SensitivityResponsible {
-		for _, q := range c.lits {
+		for _, q := range s.ca.lits(c) {
 			s.bumpVar(q.Var())
 		}
 	}
@@ -129,12 +130,12 @@ func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 	out := learnt[:1]
 	for _, q := range orig {
 		r := s.reason[q.Var()]
-		if r == nil {
+		if r == refUndef {
 			out = append(out, q)
 			continue
 		}
 		redundant := true
-		for _, x := range r.lits[1:] {
+		for _, x := range s.ca.lits(r)[1:] {
 			v := x.Var()
 			if !s.seen[v] && s.vlevel[v] != 0 {
 				redundant = false
@@ -168,10 +169,10 @@ func (s *Solver) record(learnt []cnf.Lit) {
 	s.proofAdd(learnt)
 	if len(learnt) == 1 {
 		// Asserted at level 0; nothing is stored, the assignment is kept.
-		s.enqueue(learnt[0], nil)
+		s.enqueue(learnt[0], refUndef)
 		return
 	}
-	c := &clause{lits: learnt, learnt: true}
+	c := s.ca.alloc(learnt, true)
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.notePeak()

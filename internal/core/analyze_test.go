@@ -21,19 +21,19 @@ func TestPaperSection4Example(t *testing.T) {
 	// Build the implication state: x=0 @1, y=1 @2, z=1 @3. BCP then forces
 	// a=1 (clause 2) and c=0 (clause 1), and clause 3 becomes the conflict.
 	s.newDecisionLevel()
-	s.enqueue(cnf.NegLit(x), nil)
-	if s.propagate() != nil {
+	s.enqueue(cnf.NegLit(x), refUndef)
+	if s.propagate() != refUndef {
 		t.Fatal("unexpected conflict after x=0")
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(y), nil)
-	if s.propagate() != nil {
+	s.enqueue(cnf.PosLit(y), refUndef)
+	if s.propagate() != refUndef {
 		t.Fatal("unexpected conflict after y=1")
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(z), nil)
+	s.enqueue(cnf.PosLit(z), refUndef)
 	confl := s.propagate()
-	if confl == nil {
+	if confl == refUndef {
 		t.Fatal("expected a conflict after z=1")
 	}
 
@@ -65,8 +65,8 @@ func TestPaperSection4Example(t *testing.T) {
 
 	// Each responsible clause's activity counter incremented once (§8).
 	for i, cl := range s.clauses {
-		if cl.act != 1 {
-			t.Errorf("clause %d activity = %d, want 1", i, cl.act)
+		if s.ca.act(cl) != 1 {
+			t.Errorf("clause %d activity = %d, want 1", i, s.ca.act(cl))
 		}
 	}
 }
@@ -80,15 +80,15 @@ func TestLessSensitivityBumpsConflictClauseOnly(t *testing.T) {
 	s.AddClause(cnf.NewClause(a, x, -z))
 	s.AddClause(cnf.NewClause(c, -y, -z))
 	s.newDecisionLevel()
-	s.enqueue(cnf.NegLit(x), nil)
+	s.enqueue(cnf.NegLit(x), refUndef)
 	s.propagate()
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(y), nil)
+	s.enqueue(cnf.PosLit(y), refUndef)
 	s.propagate()
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(z), nil)
+	s.enqueue(cnf.PosLit(z), refUndef)
 	confl := s.propagate()
-	if confl == nil {
+	if confl == refUndef {
 		t.Fatal("expected conflict")
 	}
 	s.analyze(confl)
@@ -173,9 +173,9 @@ func TestMinimizeRemovesDominatedLiteral(t *testing.T) {
 	s.AddClause(cnf.NewClause(-2, 3))
 	s.AddClause(cnf.NewClause(-3, -2))
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
+	s.enqueue(cnf.PosLit(1), refUndef)
 	confl := s.propagate()
-	if confl == nil {
+	if confl == refUndef {
 		t.Fatal("expected conflict")
 	}
 	learnt, _ := s.analyze(confl)
@@ -193,9 +193,9 @@ func TestSeenScratchIsCleanAfterAnalyze(t *testing.T) {
 	s.AddClause(cnf.NewClause(-1, 2))
 	s.AddClause(cnf.NewClause(-1, -2))
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
+	s.enqueue(cnf.PosLit(1), refUndef)
 	confl := s.propagate()
-	if confl == nil {
+	if confl == refUndef {
 		t.Fatal("expected conflict")
 	}
 	s.analyze(confl)

@@ -33,11 +33,11 @@ func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 			continue
 		}
 		s.seen[v] = false
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == refUndef {
 			// An assumption (or decision standing in for one).
 			out = append(out, s.trail[i])
 		} else {
-			for _, q := range r.lits[1:] {
+			for _, q := range s.ca.lits(r)[1:] {
 				if s.vlevel[q.Var()] > 0 {
 					s.seen[q.Var()] = true
 				}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// BenchmarkPropagate measures steady-state Boolean constraint propagation
+// over the flat clause arena: one op asserts a decision whose implication
+// chain assigns ~2000 variables through binary and ternary clauses, then
+// backtracks. After the first iteration every watch list and the trail are
+// at capacity, so the loop must report 0 allocs/op — the CI bench job
+// gates on this (see cmd/benchguard).
+func BenchmarkPropagate(b *testing.B) {
+	s := New(DefaultOptions())
+	const n = 2000
+	for i := 1; i < n; i++ {
+		s.AddClause(cnf.NewClause(-i, i+1)) // implication chain
+	}
+	for i := 1; i+2 < n; i += 3 {
+		s.AddClause(cnf.NewClause(-i, i+1, i+2)) // ternary watch traffic
+	}
+	run := func() {
+		s.newDecisionLevel()
+		s.enqueue(cnf.PosLit(1), refUndef)
+		if s.propagate() != refUndef {
+			b.Fatal("unexpected conflict")
+		}
+		if len(s.trail) < n {
+			b.Fatalf("chain only propagated %d assignments", len(s.trail))
+		}
+		s.cancelUntil(0)
+	}
+	run() // reach steady state: trail and watch lists at final capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+// BenchmarkSolve runs a full CDCL search (conflicts, learning, database
+// management, arena GC) on an unsatisfiable pigeonhole instance. Solver
+// construction and clause loading are part of the measured op, so the
+// number is end-to-end; the regression gate allows 20% headroom.
+func BenchmarkSolve(b *testing.B) {
+	f := pigeonhole(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultOptions())
+		s.AddFormula(f)
+		if r := s.Solve(); r.Status != StatusUnsat {
+			b.Fatalf("status = %v, want UNSAT", r.Status)
+		}
+	}
+}
+
+// BenchmarkSolveSat exercises the satisfiable path (model extraction, no
+// level-0 empty clause) on a random 3-SAT formula below the phase
+// transition.
+func BenchmarkSolveSat(b *testing.B) {
+	f := cnf.New(150)
+	rng := newXorshift(42)
+	for i := 0; i < 500; i++ {
+		var c cnf.Clause
+		for k := 0; k < 3; k++ {
+			v := cnf.Var(rng.intn(150) + 1)
+			c = append(c, cnf.MkLit(v, rng.coin()))
+		}
+		f.Add(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultOptions())
+		s.AddFormula(f)
+		if r := s.Solve(); r.Status == StatusUnknown {
+			b.Fatal("unexpected UNKNOWN")
+		}
+	}
+}

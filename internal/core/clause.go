@@ -2,32 +2,16 @@ package core
 
 import "berkmin/internal/cnf"
 
-// clause is the solver's internal clause representation. Learnt clauses live
-// on the chronological stack (Solver.learnts); their position there is their
-// age (§8: "the age of a clause is the position of the clause in the current
-// stack").
-type clause struct {
-	lits []cnf.Lit
-	// act counts the conflicts this clause has been responsible for
-	// (clause_activity of §8): it is incremented every time the clause is
-	// used as an antecedent in conflict analysis.
-	act int64
-	// satCache is a literal that satisfied this clause the last time it was
-	// inspected; checking it first makes the top-clause scan (§5) cheap in
-	// the common case.
-	satCache cnf.Lit
-	learnt   bool
-	// protect marks a clause that must never be removed (the paper's
-	// anti-looping marking, §8).
-	protect bool
-}
-
-func (c *clause) len() int { return len(c.lits) }
+// Clause storage lives in the flat arena (arena.go); clauses are addressed
+// by clauseRef everywhere in the engine. Learnt clauses additionally live
+// on the chronological stack (Solver.learnts); their position there is
+// their age (§8: "the age of a clause is the position of the clause in the
+// current stack").
 
 // watcher pairs a watched clause with a blocker literal: if the blocker is
 // true the clause is satisfied and need not be inspected at all.
 type watcher struct {
-	c       *clause
+	c       clauseRef
 	blocker cnf.Lit
 }
 

@@ -22,7 +22,7 @@ func (s *Solver) decide() cnf.Lit {
 // the most active free variable of the whole formula with nb_two polarity
 // (§7).
 func (s *Solver) decideBerkMin() cnf.Lit {
-	if c, r := s.currentTopClause(); c != nil {
+	if c, r := s.currentTopClause(); c != refUndef {
 		s.stats.TopClauseDecisions++
 		s.stats.Skin.record(r)
 		v := s.mostActiveFreeInClause(c)
@@ -44,10 +44,10 @@ func (s *Solver) decideGlobalMostActive() cnf.Lit {
 	if v == 0 {
 		return cnf.LitUndef
 	}
-	if c, r := s.currentTopClause(); c != nil {
+	if c, r := s.currentTopClause(); c != refUndef {
 		s.stats.TopClauseDecisions++
 		s.stats.Skin.record(r)
-		if c.Has(cnf.PosLit(v)) || c.Has(cnf.NegLit(v)) {
+		if s.ca.has(c, cnf.PosLit(v)) || s.ca.has(c, cnf.NegLit(v)) {
 			return s.topClausePolarity(v, c)
 		}
 		return s.litActivityPolarity(v)
@@ -78,24 +78,24 @@ func (s *Solver) decideChaff() cnf.Lit {
 }
 
 // currentTopClause returns the unsatisfied conflict clause closest to the
-// top of the stack and its distance r from the top (§5, §6), or nil if every
-// conflict clause is satisfied.
-func (s *Solver) currentTopClause() (*clause, int) {
+// top of the stack and its distance r from the top (§5, §6), or refUndef if
+// every conflict clause is satisfied.
+func (s *Solver) currentTopClause() (clauseRef, int) {
 	for i := len(s.learnts) - 1; i >= 0; i-- {
 		c := s.learnts[i]
 		if !s.satisfied(c) {
 			return c, len(s.learnts) - 1 - i
 		}
 	}
-	return nil, 0
+	return refUndef, 0
 }
 
 // mostActiveFreeInClause returns the free variable of c with the largest
 // var_activity. After BCP an unsatisfied clause always has a free literal.
-func (s *Solver) mostActiveFreeInClause(c *clause) cnf.Var {
+func (s *Solver) mostActiveFreeInClause(c clauseRef) cnf.Var {
 	var best cnf.Var
 	bestAct := int64(-1)
-	for _, l := range c.lits {
+	for _, l := range s.ca.lits(c) {
 		v := l.Var()
 		if s.assigns[v] != lUndef {
 			continue
@@ -146,12 +146,12 @@ func (s *Solver) savedPhase(v cnf.Var) cnf.Lit {
 // topClausePolarity chooses which branch of v to explore first for a
 // decision made on the current top clause c, honoring the configured
 // heuristic (Table 4).
-func (s *Solver) topClausePolarity(v cnf.Var, c *clause) cnf.Lit {
+func (s *Solver) topClausePolarity(v cnf.Var, c clauseRef) cnf.Lit {
 	if l := s.savedPhase(v); l != cnf.LitUndef {
 		return l
 	}
 	inClause := cnf.PosLit(v)
-	if !c.Has(inClause) {
+	if !s.ca.has(c, inClause) {
 		inClause = cnf.NegLit(v)
 	}
 	switch s.opt.Polarity {
@@ -256,9 +256,9 @@ func (s *Solver) nbTwo(l cnf.Lit) int {
 // binaryOther reports whether the clause is currently binary — unsatisfied
 // with exactly two unassigned literals, one of which is l — and returns the
 // other unassigned literal.
-func (s *Solver) binaryOther(c *clause, l cnf.Lit) (cnf.Lit, bool) {
+func (s *Solver) binaryOther(c clauseRef, l cnf.Lit) (cnf.Lit, bool) {
 	other := cnf.LitUndef
-	for _, x := range c.lits {
+	for _, x := range s.ca.lits(c) {
 		switch s.value(x) {
 		case lTrue:
 			return cnf.LitUndef, false
@@ -276,14 +276,4 @@ func (s *Solver) binaryOther(c *clause, l cnf.Lit) (cnf.Lit, bool) {
 		return cnf.LitUndef, false
 	}
 	return other, true
-}
-
-// Has reports whether the clause contains the literal.
-func (c *clause) Has(l cnf.Lit) bool {
-	for _, x := range c.lits {
-		if x == l {
-			return true
-		}
-	}
-	return false
 }

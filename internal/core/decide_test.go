@@ -6,6 +6,15 @@ import (
 	"berkmin/internal/cnf"
 )
 
+// addLearnt allocates a learnt clause in the arena and pushes it on the
+// conflict-clause stack without attaching watches (decision-heuristic
+// tests drive the stack directly).
+func addLearnt(s *Solver, lits ...cnf.Lit) clauseRef {
+	c := s.ca.alloc(lits, true)
+	s.learnts = append(s.learnts, c)
+	return c
+}
+
 // TestTopClauseSelection checks §5: the branching variable comes from the
 // unsatisfied conflict clause closest to the top of the stack, and the
 // most active free variable of that clause is picked.
@@ -14,17 +23,16 @@ func TestTopClauseSelection(t *testing.T) {
 	s.ensureVars(6)
 	// Three learnt clauses; the topmost is satisfied, the middle is the
 	// current top clause.
-	old := &clause{lits: []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2)}, learnt: true}
-	mid := &clause{lits: []cnf.Lit{cnf.PosLit(3), cnf.PosLit(4)}, learnt: true}
-	top := &clause{lits: []cnf.Lit{cnf.PosLit(5), cnf.PosLit(6)}, learnt: true}
-	s.learnts = append(s.learnts, old, mid, top)
+	addLearnt(s, cnf.PosLit(1), cnf.PosLit(2))
+	mid := addLearnt(s, cnf.PosLit(3), cnf.PosLit(4))
+	addLearnt(s, cnf.PosLit(5), cnf.PosLit(6))
 	// Satisfy the topmost clause.
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(5), nil)
+	s.enqueue(cnf.PosLit(5), refUndef)
 
 	c, r := s.currentTopClause()
 	if c != mid {
-		t.Fatalf("current top clause = %v, want the middle clause", c.lits)
+		t.Fatalf("current top clause = %v, want the middle clause", s.ca.lits(c))
 	}
 	if r != 1 {
 		t.Fatalf("distance = %d, want 1", r)
@@ -49,11 +57,11 @@ func TestAllLearntsSatisfiedFallsBackToGlobal(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddClause(cnf.NewClause(1, 2))
 	s.AddClause(cnf.NewClause(3, 4))
-	s.learnts = append(s.learnts, &clause{lits: []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2)}, learnt: true})
+	addLearnt(s, cnf.PosLit(1), cnf.PosLit(2))
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
+	s.enqueue(cnf.PosLit(1), refUndef)
 	s.varAct[3] = 7
-	if c, _ := s.currentTopClause(); c != nil {
+	if c, _ := s.currentTopClause(); c != refUndef {
 		t.Fatal("no unsatisfied learnt expected")
 	}
 	l := s.decideBerkMin()
@@ -85,11 +93,10 @@ func TestLitActivityPolarity(t *testing.T) {
 // TestPolarityModes checks the Table 4 heuristics against a crafted top
 // clause containing ¬x.
 func TestPolarityModes(t *testing.T) {
-	mkSolver := func(p PolarityMode) (*Solver, *clause) {
+	mkSolver := func(p PolarityMode) (*Solver, clauseRef) {
 		s := New(BranchOptions(p))
 		s.ensureVars(2)
-		c := &clause{lits: []cnf.Lit{cnf.NegLit(1), cnf.PosLit(2)}, learnt: true}
-		s.learnts = append(s.learnts, c)
+		c := addLearnt(s, cnf.NegLit(1), cnf.PosLit(2))
 		return s, c
 	}
 	s, c := mkSolver(PolaritySatTop)
@@ -163,8 +170,8 @@ func TestNbTwoCountsCurrentlyBinary(t *testing.T) {
 		t.Fatalf("nb_two = %d, want 1", got)
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.NegLit(3), nil) // (1 2 3) becomes effectively binary
-	s.enqueue(cnf.PosLit(4), nil) // (1 4) becomes satisfied
+	s.enqueue(cnf.NegLit(3), refUndef) // (1 2 3) becomes effectively binary
+	s.enqueue(cnf.PosLit(4), refUndef) // (1 4) becomes satisfied
 	if got := s.nbTwo(cnf.PosLit(1)); got != 1 {
 		t.Fatalf("nb_two after assignments = %d, want 1", got)
 	}
@@ -195,7 +202,7 @@ func TestChaffDecisionPicksMaxLiteral(t *testing.T) {
 		t.Fatalf("chaff decision = %v, want ¬x2", l)
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.NegLit(2), nil)
+	s.enqueue(cnf.NegLit(2), refUndef)
 	if l := s.decideChaff(); l != cnf.PosLit(3) {
 		t.Fatalf("chaff decision = %v, want x3", l)
 	}
@@ -207,8 +214,8 @@ func TestDecideReturnsUndefWhenAllAssigned(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(2)
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
-	s.enqueue(cnf.PosLit(2), nil)
+	s.enqueue(cnf.PosLit(1), refUndef)
+	s.enqueue(cnf.PosLit(2), refUndef)
 	if l := s.decide(); l != cnf.LitUndef {
 		t.Fatalf("decide = %v, want undef", l)
 	}
@@ -220,13 +227,12 @@ func TestSkinHistogramDistance(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(6)
 	for v := 1; v <= 3; v++ {
-		c := &clause{lits: []cnf.Lit{cnf.PosLit(cnf.Var(2*v - 1)), cnf.PosLit(cnf.Var(2 * v))}, learnt: true}
-		s.learnts = append(s.learnts, c)
+		addLearnt(s, cnf.PosLit(cnf.Var(2*v-1)), cnf.PosLit(cnf.Var(2*v)))
 	}
 	// Satisfy the two clauses nearest the top (vars 3..6 true).
 	s.newDecisionLevel()
 	for v := 3; v <= 6; v++ {
-		s.enqueue(cnf.PosLit(cnf.Var(v)), nil)
+		s.enqueue(cnf.PosLit(cnf.Var(v)), refUndef)
 	}
 	s.decideBerkMin()
 	if s.stats.Skin.At(2) != 1 {

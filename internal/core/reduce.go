@@ -4,15 +4,21 @@ import "berkmin/internal/cnf"
 
 // reduceDB is BerkMin's clause-database management (§8), run after the
 // current search tree is abandoned. It (1) simplifies the database under
-// the retained level-0 assignments — clauses satisfied by them are
-// physically removed and false literals are stripped, which covers the
-// paper's "fraction of clauses removed automatically"; (2) removes conflict
-// clauses by age, length and activity; (3) recomputes the solver's data
-// structures (watches, occurrence lists), as the paper's implementation
-// does to fit smaller memory blocks.
+// the retained level-0 assignments — clauses satisfied by them are removed
+// and false literals are stripped, which covers the paper's "fraction of
+// clauses removed automatically"; (2) removes conflict clauses by age,
+// length and activity; (3) recomputes the solver's data structures
+// (arena compaction, watches, occurrence lists), as the paper's
+// implementation does to fit smaller memory blocks.
+//
+// Under the flat arena, removal is lazy: clauses are tombstoned in place
+// (free), and once a quarter of the arena is dead a compaction pass
+// relocates the live clauses into a fresh contiguous slab and remaps every
+// ref the solver holds. Watches and occurrence lists are rebuilt wholesale
+// afterwards either way.
 func (s *Solver) reduceDB() {
 	// Finish pending level-0 propagation first.
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); confl != refUndef {
 		s.ok = false
 		s.proofEmpty()
 		return
@@ -37,13 +43,14 @@ func (s *Solver) reduceDB() {
 		s.sinceMark++
 		if s.sinceMark >= s.opt.MarkPeriod && len(s.learnts) > 0 {
 			s.sinceMark = 0
-			s.learnts[len(s.learnts)-1].protect = true
+			s.ca.setProtect(s.learnts[len(s.learnts)-1])
 		}
 	}
 
+	s.maybeGC()
 	s.rebuildWatches()
 	s.rebuildOcc()
-	if confl := s.propagate(); confl != nil {
+	if confl := s.propagate(); confl != refUndef {
 		s.ok = false
 		s.proofEmpty()
 	}
@@ -54,9 +61,9 @@ func (s *Solver) reduceDB() {
 // to units become retained level-0 assignments.
 func (s *Solver) simplifyLevel0() {
 	// Level-0 variables keep their assignment forever; their antecedents
-	// are about to be recycled, so drop the pointers.
+	// are about to be tombstoned or relocated, so drop the refs.
 	for _, l := range s.trail {
-		s.reason[l.Var()] = nil
+		s.reason[l.Var()] = refUndef
 	}
 	s.clauses = s.simplifySlice(s.clauses)
 	if !s.ok {
@@ -65,16 +72,18 @@ func (s *Solver) simplifyLevel0() {
 	s.learnts = s.simplifySlice(s.learnts)
 }
 
-func (s *Solver) simplifySlice(list []*clause) []*clause {
+func (s *Solver) simplifySlice(list []clauseRef) []clauseRef {
 	kept := list[:0]
 clauses:
 	for _, c := range list {
+		lits := s.ca.lits(c)
 		strip := false
-		for _, l := range c.lits {
+		for _, l := range lits {
 			switch s.value(l) {
 			case lTrue:
 				s.stats.SimplifiedSat++
-				s.proofDelete(c.lits)
+				s.proofDelete(lits)
+				s.ca.free(c)
 				continue clauses
 			case lFalse:
 				strip = true
@@ -83,11 +92,14 @@ clauses:
 		if strip {
 			var snapshot []cnf.Lit
 			if s.proof != nil {
-				snapshot = append([]cnf.Lit(nil), c.lits...)
+				snapshot = append([]cnf.Lit(nil), lits...)
 			}
-			n := len(c.lits)
-			out := c.lits[:0]
-			for _, l := range c.lits {
+			n := len(lits)
+			// Compact the surviving literals to the front of the clause's
+			// arena slot, then shrink it in place; the cut tail becomes
+			// wasted space reclaimed by the next compaction.
+			out := lits[:0]
+			for _, l := range lits {
 				if s.value(l) == lUndef {
 					out = append(out, l)
 				}
@@ -99,27 +111,25 @@ clauses:
 			if snapshot != nil {
 				s.proofDelete(snapshot)
 			}
-			c.lits = out
-			c.satCache = cnf.LitUndef
-			if len(out) == 1 {
-				if !s.enqueue(out[0], nil) {
+			s.ca.shrink(c, len(out))
+			s.ca.setSatCache(c, cnf.LitUndef)
+			switch len(out) {
+			case 1:
+				s.ca.free(c) // retained as a level-0 assignment, not a clause
+				if !s.enqueue(out[0], refUndef) {
 					s.ok = false
 					s.proofEmpty()
 					return kept
 				}
 				continue
-			}
-			if len(out) == 0 {
+			case 0:
+				s.ca.free(c)
 				s.ok = false
 				s.proofEmpty()
 				return kept
 			}
 		}
 		kept = append(kept, c)
-	}
-	// Zero the tail so removed clauses can be collected.
-	for i := len(kept); i < len(list); i++ {
-		list[i] = nil
 	}
 	return kept
 }
@@ -140,22 +150,20 @@ func (s *Solver) reduceBerkMin() {
 		d := m - 1 - i
 		keep := false
 		switch {
-		case i == m-1 || c.protect:
+		case i == m-1 || s.ca.protect(c):
 			keep = true
 		case d*s.opt.YoungFracDen < m*s.opt.YoungFracNum: // young
-			keep = c.len() < s.opt.YoungMaxLen || c.act > s.opt.YoungMinAct
+			keep = s.ca.size(c) < s.opt.YoungMaxLen || s.ca.act(c) > s.opt.YoungMinAct
 		default: // old
-			keep = c.len() < s.opt.OldMaxLen || c.act > s.oldThreshold
+			keep = s.ca.size(c) < s.opt.OldMaxLen || s.ca.act(c) > s.oldThreshold
 		}
 		if keep {
 			kept = append(kept, c)
 		} else {
 			s.stats.DeletedTotal++
-			s.proofDelete(c.lits)
+			s.proofDelete(s.ca.lits(c))
+			s.ca.free(c)
 		}
-	}
-	for i := len(kept); i < m; i++ {
-		s.learnts[i] = nil
 	}
 	s.learnts = kept
 	// Long clauses that were active once but stopped participating in
@@ -174,15 +182,13 @@ func (s *Solver) reduceLimitedKeeping() {
 	}
 	kept := s.learnts[:0]
 	for i, c := range s.learnts {
-		if i == m-1 || c.protect || c.len() <= s.opt.LimitedKeepLen {
+		if i == m-1 || s.ca.protect(c) || s.ca.size(c) <= s.opt.LimitedKeepLen {
 			kept = append(kept, c)
 		} else {
 			s.stats.DeletedTotal++
-			s.proofDelete(c.lits)
+			s.proofDelete(s.ca.lits(c))
+			s.ca.free(c)
 		}
-	}
-	for i := len(kept); i < m; i++ {
-		s.learnts[i] = nil
 	}
 	s.learnts = kept
 }

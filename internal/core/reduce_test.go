@@ -8,13 +8,14 @@ import (
 
 // mkLearnt pushes a learnt clause of the given length and activity onto the
 // stack, over fresh variables so nothing is accidentally satisfied.
-func mkLearnt(s *Solver, firstVar int, length int, act int64) *clause {
+func mkLearnt(s *Solver, firstVar int, length int, act int64) clauseRef {
 	lits := make([]cnf.Lit, length)
 	for i := range lits {
 		lits[i] = cnf.PosLit(cnf.Var(firstVar + i))
 	}
 	s.ensureVars(firstVar + length)
-	c := &clause{lits: lits, act: act, learnt: true}
+	c := s.ca.alloc(lits, true)
+	s.ca.setAct(c, act)
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	return c
@@ -28,7 +29,7 @@ func TestReduceBerkMinKeepRules(t *testing.T) {
 	// are old.
 	base := 1
 	for i := 0; i < 32; i++ {
-		var c *clause
+		var c clauseRef
 		switch i {
 		case 0: // old, short (len 5 < 9): kept
 			c = mkLearnt(s, base, 5, 0)
@@ -41,7 +42,7 @@ func TestReduceBerkMinKeepRules(t *testing.T) {
 		default: // young, short (< 43): kept
 			c = mkLearnt(s, base, 3, 0)
 		}
-		base += c.len()
+		base += s.ca.size(c)
 	}
 	removedOld := s.learnts[1]
 	removedYoung := s.learnts[2]
@@ -70,10 +71,10 @@ func TestReduceOldThresholdGrows(t *testing.T) {
 	s := New(o)
 	base := 1
 	// 32 clauses so index 0 is old (d=31 >= 30).
-	var oldClause *clause
+	var oldClause clauseRef
 	for i := 0; i < 32; i++ {
 		c := mkLearnt(s, base, 20, 61) // long; activity 61 > 60
-		base += c.len()
+		base += s.ca.size(c)
 		if i == 0 {
 			oldClause = c
 		}
@@ -102,7 +103,7 @@ func TestTopmostClauseProtected(t *testing.T) {
 	base := 1
 	for i := 0; i < 8; i++ {
 		c := mkLearnt(s, base, 50, 0) // all long and passive: removable
-		base += c.len()
+		base += s.ca.size(c)
 	}
 	top := s.learnts[len(s.learnts)-1]
 	s.reduceBerkMin()
@@ -117,10 +118,10 @@ func TestMarkedClauseNeverRemoved(t *testing.T) {
 	base := 1
 	for i := 0; i < 8; i++ {
 		c := mkLearnt(s, base, 50, 0)
-		base += c.len()
+		base += s.ca.size(c)
 	}
 	marked := s.learnts[3]
-	marked.protect = true
+	s.ca.setProtect(marked)
 	s.reduceBerkMin()
 	found := false
 	for _, c := range s.learnts {
@@ -167,8 +168,8 @@ func TestSimplifyLevel0(t *testing.T) {
 	s.AddClause(cnf.NewClause(-1, 4, 5))
 	s.AddClause(cnf.NewClause(-1, 6))
 	// Assert x1 at level 0.
-	s.enqueue(cnf.PosLit(1), nil)
-	if s.propagate() != nil { // propagates 6 via (−1 6)
+	s.enqueue(cnf.PosLit(1), refUndef)
+	if s.propagate() != refUndef { // propagates 6 via (−1 6)
 		t.Fatal("unexpected conflict")
 	}
 	s.simplifyLevel0()
@@ -180,7 +181,7 @@ func TestSimplifyLevel0(t *testing.T) {
 	if len(s.clauses) != 1 {
 		t.Fatalf("clauses = %d, want 1", len(s.clauses))
 	}
-	if got := s.clauses[0].lits; len(got) != 2 || got[0].Var() != 4 || got[1].Var() != 5 {
+	if got := s.ca.lits(s.clauses[0]); len(got) != 2 || got[0].Var() != 4 || got[1].Var() != 5 {
 		t.Fatalf("stripped clause = %v", got)
 	}
 	if s.stats.SimplifiedSat != 2 || s.stats.StrippedLits != 1 {
@@ -197,8 +198,8 @@ func TestSimplifyLevel0DetectsUnsat(t *testing.T) {
 	s.AddClause(cnf.NewClause(1, -2))
 	// Force x1 false, x2 true at level 0 by hand: (¬1 ∨ ¬2) etc. — instead
 	// assert directly and simplify.
-	s.enqueue(cnf.NegLit(1), nil)
-	s.enqueue(cnf.NegLit(2), nil)
+	s.enqueue(cnf.NegLit(1), refUndef)
+	s.enqueue(cnf.NegLit(2), refUndef)
 	s.simplifyLevel0()
 	if s.ok {
 		t.Fatal("empty clause must flag unsat")

@@ -92,9 +92,9 @@ func TestRestartNeverDisablesRestarts(t *testing.T) {
 func TestRestartKeepsLevel0Assignments(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(4)
-	s.enqueue(cnf.PosLit(1), nil) // level-0 fact
+	s.enqueue(cnf.PosLit(1), refUndef) // level-0 fact
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(2), nil)
+	s.enqueue(cnf.PosLit(2), refUndef)
 	s.restart()
 	if s.value(cnf.PosLit(1)) != lTrue {
 		t.Fatal("level-0 assignment lost across restart")
@@ -114,12 +114,12 @@ func TestMarkPeriodProtectsClauses(t *testing.T) {
 	base := 1
 	for i := 0; i < 4; i++ {
 		c := mkLearnt(s, base, 3, 0)
-		base += c.len()
+		base += s.ca.size(c)
 	}
 	s.reduceDB()
 	protected := 0
 	for _, c := range s.learnts {
-		if c.protect {
+		if s.ca.protect(c) {
 			protected++
 		}
 	}

@@ -90,12 +90,15 @@ func (s *Solver) drainImports() bool {
 		case 0:
 			return false
 		case 1:
-			if !s.enqueue(out[0], nil) {
+			if !s.enqueue(out[0], refUndef) {
 				return false
 			}
 			// Propagation happens in the main loop before the next decision.
 		default:
-			c := &clause{lits: append([]cnf.Lit(nil), out...), learnt: true}
+			// The clause is appended at the arena top, beyond any
+			// tombstones still awaiting compaction; it is relocated like
+			// any other live clause at the next GC.
+			c := s.ca.alloc(out, true)
 			s.learnts = append(s.learnts, c)
 			s.attach(c)
 			s.notePeak()

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// TestImportWhileTombstonesAwaitGC covers the arena edge case the
+// portfolio exercises constantly: a clause imported from another solver
+// lands at the arena top while earlier tombstoned clauses still occupy
+// the slab, and must survive the compaction that eventually reclaims them.
+func TestImportWhileTombstonesAwaitGC(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(-1, 3))
+	// Long, passive learnt clauses: all but the topmost are removable.
+	base := 10
+	for i := 0; i < 6; i++ {
+		c := mkLearnt(s, base, 50, 0)
+		base += s.ca.size(c)
+	}
+	s.reduceBerkMin()
+	if s.ca.wasted == 0 {
+		t.Fatal("setup failed: nothing tombstoned")
+	}
+
+	s.Import([]cnf.Lit{cnf.NegLit(2), cnf.NegLit(3)})
+	if !s.drainImports() {
+		t.Fatal("import exposed spurious unsatisfiability")
+	}
+	if s.stats.ImportedClauses != 1 {
+		t.Fatalf("ImportedClauses = %d", s.stats.ImportedClauses)
+	}
+	imported := s.learnts[len(s.learnts)-1]
+	if s.ca.deleted(imported) || !s.ca.learnt(imported) {
+		t.Fatal("imported clause landed on a tombstone")
+	}
+	want := []cnf.Lit{cnf.NegLit(2), cnf.NegLit(3)}
+	got := s.ca.lits(imported)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("imported lits = %v, want %v", got, want)
+	}
+
+	// Compact with the tombstones still pending and make sure the import
+	// came through intact, then solve: the imported clause must constrain
+	// the search (¬2 ∨ ¬3 with (1∨2) and (¬1∨3) forces a consistent model).
+	s.garbageCollect()
+	s.rebuildWatches()
+	s.rebuildOcc()
+	if s.ca.wasted != 0 {
+		t.Fatalf("wasted after GC = %d", s.ca.wasted)
+	}
+	imported = s.learnts[len(s.learnts)-1]
+	got = s.ca.lits(imported)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("imported lits after GC = %v, want %v", got, want)
+	}
+	r := s.Solve()
+	if r.Status != StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if r.Model[2] && r.Model[3] {
+		t.Fatal("model violates the imported clause ¬2 ∨ ¬3")
+	}
+}
+
+// TestImportDuplicateOfArenaClause imports a clause that duplicates an
+// existing problem clause (a dedup-free sharing hub will do this): the
+// duplicate must be stored and watched independently without corrupting
+// propagation, and the verdict must be unchanged.
+func TestImportDuplicateOfArenaClause(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2, 3))
+	s.AddClause(cnf.NewClause(-1, -2))
+	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)})
+	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}) // twice
+	if !s.drainImports() {
+		t.Fatal("duplicate import exposed spurious unsatisfiability")
+	}
+	if s.stats.ImportedClauses != 2 {
+		t.Fatalf("ImportedClauses = %d, want 2", s.stats.ImportedClauses)
+	}
+	if len(s.learnts) != 2 {
+		t.Fatalf("learnts = %d, want 2 stored duplicates", len(s.learnts))
+	}
+	if r := s.Solve(); r.Status != StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	// The duplicates live in the database; a cleaning pass plus compaction
+	// must handle them like any other learnt clause.
+	s.cancelUntil(0)
+	s.reduceDB()
+	s.garbageCollect()
+	s.rebuildWatches()
+	s.rebuildOcc()
+	if r := s.Solve(); r.Status != StatusSat {
+		t.Fatalf("status after GC = %v", r.Status)
+	}
+}
+
+// TestImportUnitWithTombstonesPending: a unit import at level 0 becomes a
+// retained assignment even while the arena carries tombstones, and the
+// next simplification strips it through the database.
+func TestImportUnitWithTombstonesPending(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	base := 10
+	for i := 0; i < 6; i++ {
+		c := mkLearnt(s, base, 50, 0)
+		base += s.ca.size(c)
+	}
+	s.reduceBerkMin()
+	if s.ca.wasted == 0 {
+		t.Fatal("setup failed: nothing tombstoned")
+	}
+	s.Import([]cnf.Lit{cnf.NegLit(1)})
+	if !s.drainImports() {
+		t.Fatal("unit import failed")
+	}
+	if s.value(cnf.NegLit(1)) != lTrue || s.vlevel[1] != 0 {
+		t.Fatal("unit import must become a level-0 assignment")
+	}
+	r := s.Solve()
+	if r.Status != StatusSat || r.Model[1] || !r.Model[2] {
+		t.Fatalf("got %v model=%v, want SAT with ¬x1, x2", r.Status, r.Model)
+	}
+}

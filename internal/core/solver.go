@@ -66,14 +66,15 @@ type Solver struct {
 	opt Options
 
 	nVars   int
-	clauses []*clause // problem clauses (physically shrunk by simplification)
-	learnts []*clause // conflict-clause stack, index = age, top = end
+	ca      clauseArena // flat storage for every clause (arena.go)
+	clauses []clauseRef // problem clauses (physically shrunk by simplification)
+	learnts []clauseRef // conflict-clause stack, index = age, top = end
 
 	watches [][]watcher // watches[l]: clauses currently watching literal l
 
-	assigns  []lbool   // per variable
-	vlevel   []int32   // per variable: decision level of its assignment
-	reason   []*clause // per variable: antecedent clause (nil for decisions)
+	assigns  []lbool     // per variable
+	vlevel   []int32     // per variable: decision level of its assignment
+	reason   []clauseRef // per variable: antecedent clause (refUndef for decisions)
 	trail    []cnf.Lit
 	trailLim []int
 	qhead    int
@@ -83,7 +84,7 @@ type Solver struct {
 	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
 	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
 
-	occ [][]*clause // per literal: problem clauses containing it (for nb_two, §7)
+	occ [][]clauseRef // per literal: problem clauses containing it (for nb_two, §7)
 
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
@@ -96,7 +97,7 @@ type Solver struct {
 	// recorded (test hook); debugConflict observes every conflict before
 	// analysis.
 	debugLearnt   func([]cnf.Lit)
-	debugConflict func(*clause)
+	debugConflict func(clauseRef)
 
 	// Cross-thread communication. interrupted is the only field of the
 	// solver that may be touched from another goroutine without the import
@@ -155,7 +156,7 @@ func (s *Solver) ensureVars(n int) {
 	for len(s.assigns) <= n {
 		s.assigns = append(s.assigns, lUndef)
 		s.vlevel = append(s.vlevel, 0)
-		s.reason = append(s.reason, nil)
+		s.reason = append(s.reason, refUndef)
 		s.varAct = append(s.varAct, 0)
 		s.seen = append(s.seen, false)
 		s.phase = append(s.phase, lUndef)
@@ -226,38 +227,39 @@ func (s *Solver) AddClause(c cnf.Clause) {
 		s.proofEmpty()
 		return
 	case 1:
-		if !s.enqueue(out[0], nil) {
+		if !s.enqueue(out[0], refUndef) {
 			s.ok = false
 			s.proofEmpty()
 			return
 		}
-		if confl := s.propagate(); confl != nil {
+		if confl := s.propagate(); confl != refUndef {
 			s.ok = false
 			s.proofEmpty()
 		}
 		return
 	}
-	cl := &clause{lits: append([]cnf.Lit(nil), out...)}
+	cl := s.ca.alloc(out, false)
 	s.clauses = append(s.clauses, cl)
 	s.attach(cl)
 	s.addOcc(cl)
 }
 
 // attach registers the clause's first two literals in the watch lists.
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], watcher{c, c.lits[1]})
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], watcher{c, c.lits[0]})
+func (s *Solver) attach(c clauseRef) {
+	lits := s.ca.lits(c)
+	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{c, lits[1]})
+	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, lits[0]})
 }
 
-func (s *Solver) addOcc(c *clause) {
-	for _, l := range c.lits {
+func (s *Solver) addOcc(c clauseRef) {
+	for _, l := range s.ca.lits(c) {
 		s.occ[l] = append(s.occ[l], c)
 	}
 }
 
 // enqueue records the assignment making l true, with the given antecedent.
 // It returns false if l is already false (an immediate conflict).
-func (s *Solver) enqueue(l cnf.Lit, from *clause) bool {
+func (s *Solver) enqueue(l cnf.Lit, from clauseRef) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -293,7 +295,7 @@ func (s *Solver) cancelUntil(level int) {
 			s.phase[v] = s.assigns[v]
 		}
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = refUndef
 		if s.opt.OptimizedGlobalPick {
 			s.order.insert(v)
 		}
@@ -346,7 +348,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 			}
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != refUndef {
 			s.stats.Conflicts++
 			s.sinceRestart++
 			s.sinceAging++
@@ -403,7 +405,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 		}
 		s.stats.Decisions++
 		s.newDecisionLevel()
-		s.enqueue(next, nil)
+		s.enqueue(next, refUndef)
 	}
 }
 

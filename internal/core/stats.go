@@ -107,9 +107,10 @@ type Stats struct {
 	// ones; Table 9's database-size ratio is
 	// (LearntTotal + initial clauses) / initial clauses.
 	LearntTotal   uint64
-	DeletedTotal  uint64 // learnt clauses physically removed by DB management
+	DeletedTotal  uint64 // learnt clauses removed by DB management (tombstoned)
 	SimplifiedSat uint64 // clauses removed because level-0 assignments satisfy them
 	StrippedLits  uint64 // false literals stripped at level 0
+	ArenaGCs      uint64 // clause-arena compaction passes (lazy deletion reclaim)
 
 	// InitialClauses is the clause count of the formula as given;
 	// PeakLiveClauses is the largest number of clauses simultaneously held

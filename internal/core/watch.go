@@ -5,8 +5,11 @@ import "berkmin/internal/cnf"
 // propagate performs Boolean constraint propagation with two watched
 // literals per clause (the SATO/Chaff scheme the paper adopts in §2,
 // "our own implementation of this idea of SATO"). It returns the
-// conflicting clause, or nil if a fixed point is reached.
-func (s *Solver) propagate() *clause {
+// conflicting clause, or refUndef if a fixed point is reached. The loop
+// touches only the flat arena and the watch lists; it allocates nothing
+// (watch-list and trail growth is amortized and reaches zero in steady
+// state — see BenchmarkPropagate).
+func (s *Solver) propagate() clauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -24,7 +27,7 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			c := w.c
-			lits := c.lits
+			lits := s.ca.lits(c)
 			// Make sure the falsified literal sits in slot 1.
 			if lits[0] == falsified {
 				lits[0], lits[1] = lits[1], lits[0]
@@ -61,11 +64,11 @@ func (s *Solver) propagate() *clause {
 		}
 		s.watches[falsified] = kept
 	}
-	return nil
+	return refUndef
 }
 
 // rebuildWatches drops every watch list and re-attaches all clauses.
-// Database management physically removes and shrinks clauses, so the paper's
+// Database management removes and shrinks clauses, so the paper's
 // BerkMin "partially or completely recomputes" its data structures after a
 // cleaning (§8); rebuilding wholesale keeps the invariants simple.
 // Must be called at decision level 0 with no pending propagations beyond
@@ -95,15 +98,17 @@ func (s *Solver) rebuildOcc() {
 	}
 }
 
-// litSatisfies reports whether the clause currently has a true literal,
-// using and refreshing the clause's cached satisfying literal.
-func (s *Solver) satisfied(c *clause) bool {
-	if c.satCache != cnf.LitUndef && s.value(c.satCache) == lTrue {
+// satisfied reports whether the clause currently has a true literal, using
+// and refreshing the clause's cached satisfying literal. The cache is only
+// a hint: a cached literal that is no longer true (backtracked, aged out,
+// or stripped from the clause) never short-circuits the full scan.
+func (s *Solver) satisfied(c clauseRef) bool {
+	if cache := s.ca.satCache(c); cache != cnf.LitUndef && s.value(cache) == lTrue {
 		return true
 	}
-	for _, l := range c.lits {
+	for _, l := range s.ca.lits(c) {
 		if s.value(l) == lTrue {
-			c.satCache = l
+			s.ca.setSatCache(c, l)
 			return true
 		}
 	}

@@ -15,8 +15,8 @@ func TestPropagateChain(t *testing.T) {
 		s.AddClause(cnf.NewClause(-i, i+1))
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
-	if confl := s.propagate(); confl != nil {
+	s.enqueue(cnf.PosLit(1), refUndef)
+	if confl := s.propagate(); confl != refUndef {
 		t.Fatal("no conflict expected")
 	}
 	for v := 1; v <= 20; v++ {
@@ -36,12 +36,12 @@ func TestPropagateConflictDetection(t *testing.T) {
 	s.AddClause(cnf.NewClause(-1, 2))
 	s.AddClause(cnf.NewClause(-1, -2))
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
+	s.enqueue(cnf.PosLit(1), refUndef)
 	confl := s.propagate()
-	if confl == nil {
+	if confl == refUndef {
 		t.Fatal("expected conflict")
 	}
-	for _, l := range confl.lits {
+	for _, l := range s.ca.lits(confl) {
 		if s.value(l) != lFalse {
 			t.Fatalf("conflict clause literal %v not false", l)
 		}
@@ -54,14 +54,14 @@ func TestPropagateUsesReasonSlotZero(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddClause(cnf.NewClause(5, -1, -2)) // becomes unit after ¬x... wait: assigning 1,2 true falsifies -1,-2
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(1), nil)
-	s.enqueue(cnf.PosLit(2), nil)
-	if confl := s.propagate(); confl != nil {
+	s.enqueue(cnf.PosLit(1), refUndef)
+	s.enqueue(cnf.PosLit(2), refUndef)
+	if confl := s.propagate(); confl != refUndef {
 		t.Fatal("no conflict expected")
 	}
 	r := s.reason[5]
-	if r == nil || r.lits[0] != cnf.PosLit(5) {
-		t.Fatalf("reason slot 0 = %v, want x5", r.lits)
+	if r == refUndef || s.ca.lits(r)[0] != cnf.PosLit(5) {
+		t.Fatalf("reason slot 0 = %v, want x5", s.ca.lits(r))
 	}
 }
 
@@ -81,7 +81,7 @@ func TestBacktrackRestoresWatchConsistency(t *testing.T) {
 				continue
 			}
 			s.newDecisionLevel()
-			s.enqueue(cnf.MkLit(v, rng.Intn(2) == 0), nil)
+			s.enqueue(cnf.MkLit(v, rng.Intn(2) == 0), refUndef)
 			s.propagate()
 			if rng.Intn(2) == 0 && s.decisionLevel() > 0 {
 				s.cancelUntil(rng.Intn(s.decisionLevel()))
@@ -89,7 +89,7 @@ func TestBacktrackRestoresWatchConsistency(t *testing.T) {
 		}
 		s.cancelUntil(0)
 		s.qhead = 0 // replay all level-0 assignments
-		if s.propagate() != nil {
+		if s.propagate() != refUndef {
 			continue // level-0 conflict: formula unsat; fine
 		}
 		r := s.Solve()
@@ -105,17 +105,17 @@ func TestBacktrackRestoresWatchConsistency(t *testing.T) {
 func TestSatisfiedCache(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(3)
-	c := &clause{lits: []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}}
+	c := s.ca.alloc([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, false)
 	if s.satisfied(c) {
 		t.Fatal("unassigned clause reported satisfied")
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.PosLit(2), nil)
+	s.enqueue(cnf.PosLit(2), refUndef)
 	if !s.satisfied(c) {
 		t.Fatal("satisfied clause not detected")
 	}
-	if c.satCache != cnf.PosLit(2) {
-		t.Fatalf("cache = %v", c.satCache)
+	if s.ca.satCache(c) != cnf.PosLit(2) {
+		t.Fatalf("cache = %v", s.ca.satCache(c))
 	}
 	s.cancelUntil(0)
 	if s.satisfied(c) {
