@@ -40,6 +40,7 @@ import (
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
 	"berkmin/internal/portfolio"
+	"berkmin/internal/simplify"
 )
 
 // Options configures the solver. Zero value is unusable; start from
@@ -78,6 +79,10 @@ var (
 	ChaffOptions = core.ChaffOptions
 	// LimmatOptions approximates limmat (Table 10's third solver).
 	LimmatOptions = core.LimmatOptions
+	// InprocessingOptions is BerkMin with arena-native inprocessing
+	// (subsumption, self-subsuming resolution, vivification at restart
+	// boundaries) enabled — an extension beyond the paper.
+	InprocessingOptions = core.InprocessingOptions
 )
 
 // Solver is a CDCL SAT solver over DIMACS-style signed integer literals.
@@ -86,6 +91,18 @@ type Solver struct {
 	core     *core.Solver
 	pristine *cnf.Formula // untouched copy of the input, for model checking
 	verify   bool
+	proofW   io.Writer
+	maxTime  time.Duration // Options.MaxTime, also bounding preprocessing
+
+	// Preprocessing state (SetSimplify). When enabled, clauses are held
+	// back from the core engine until the first solve, which preprocesses
+	// the accumulated formula and feeds the core the simplified form.
+	simp         *simplify.Options
+	outcome      *simplify.Outcome
+	fed          bool            // the core has received its (possibly simplified) input
+	elimIndex    map[cnf.Var]int // eliminated variable -> index into outcome.Elims
+	preSpent     time.Duration   // preprocessing time, charged to the first search's Runtime
+	preRemaining time.Duration   // first search's reduced wall-clock budget (0 = nothing pending)
 }
 
 // New returns a Solver with the paper's default (BerkMin) configuration.
@@ -93,7 +110,7 @@ func New() *Solver { return NewWithOptions(DefaultOptions()) }
 
 // NewWithOptions returns a Solver with the given configuration.
 func NewWithOptions(opt Options) *Solver {
-	return &Solver{core: core.New(opt), pristine: cnf.New(0), verify: true}
+	return &Solver{core: core.New(opt), pristine: cnf.New(0), verify: true, maxTime: opt.MaxTime}
 }
 
 // SetVerifyModels controls whether Solve double-checks satisfying
@@ -102,8 +119,43 @@ func NewWithOptions(opt Options) *Solver {
 func (s *Solver) SetVerifyModels(v bool) { s.verify = v }
 
 // SetProofWriter directs a DRUP unsatisfiability proof to w; must be called
-// before adding clauses. Validate the trace with CheckDRUP.
-func (s *Solver) SetProofWriter(w io.Writer) { s.core.SetProofWriter(w) }
+// before adding clauses. Validate the trace with CheckDRUP. Proof logging
+// composes with SetSimplify: the preprocessor's additions and deletions are
+// emitted first, so the combined trace verifies against the original
+// formula. (Incremental use — adding clauses after a solve — is outside
+// what a single DRUP trace can express, with or without simplification.)
+func (s *Solver) SetProofWriter(w io.Writer) {
+	s.proofW = w
+	s.core.SetProofWriter(w)
+}
+
+// SetSimplify enables SatELite-style preprocessing (unit propagation,
+// subsumption, self-subsuming resolution, bounded variable elimination) on
+// the first Solve or SolveAssuming call; the search then runs on the
+// simplified formula and satisfying assignments are mapped back to the
+// original variables before being returned. Pass nil to disable. Must be
+// called before any clause is added.
+//
+// Incremental solving remains fully supported: if a later AddClause or
+// assumption mentions a variable that preprocessing eliminated, the
+// variable's original clauses are transparently restored first.
+func (s *Solver) SetSimplify(opt *SimplifyOptions) {
+	if opt == nil {
+		if s.simp != nil && !s.fed && s.pristine.NumClauses() > 0 {
+			// Clauses were being held back for preprocessing; hand them to
+			// the engine now that it is disabled. (With no clauses yet,
+			// nothing was held back and re-enabling stays possible.)
+			s.fed = true
+			s.core.AddFormula(s.pristine)
+		}
+		s.simp = nil
+		return
+	}
+	if s.pristine.NumClauses() > 0 || s.fed {
+		panic("berkmin: SetSimplify must be called before adding clauses")
+	}
+	s.simp = opt
+}
 
 // AddClause adds a clause given as signed DIMACS literals (±v). Zero
 // values are rejected by panic since they terminate clauses in DIMACS and
@@ -116,36 +168,142 @@ func (s *Solver) AddClause(lits ...int) {
 	}
 	c := cnf.NewClause(lits...)
 	s.pristine.Add(c.Clone())
-	s.core.AddClause(c)
+	s.feed(c)
 }
 
 // AddFormula adds every clause of a formula (e.g. from ReadDimacs or a
-// generator).
+// generator). Clauses go through the same ingestion gate as AddClause.
 func (s *Solver) AddFormula(f *Formula) {
 	for _, c := range f.Clauses {
 		s.pristine.Add(c.Clone())
+		s.feed(c)
 	}
 	if f.NumVars > s.pristine.NumVars {
 		s.pristine.NumVars = f.NumVars
 	}
-	s.core.AddFormula(f)
+	if s.simp == nil || s.fed {
+		// feed only sees clauses; register any variables beyond them.
+		s.core.AddFormula(&cnf.Formula{NumVars: f.NumVars})
+	}
+}
+
+// feed hands one clause to the core engine — immediately when
+// preprocessing is off or already done (restoring eliminated variables the
+// clause mentions), deferred to the first solve otherwise.
+func (s *Solver) feed(c cnf.Clause) {
+	if s.simp != nil && !s.fed {
+		return // held back until preprocess()
+	}
+	if len(s.elimIndex) > 0 {
+		for _, l := range c {
+			s.restore(l.Var())
+		}
+	}
+	s.core.AddClause(c)
+}
+
+// preprocess runs the simplifier over everything accumulated so far and
+// feeds the core engine, once, at the first solve.
+func (s *Solver) preprocess() {
+	if s.fed {
+		return
+	}
+	s.fed = true
+	if s.simp == nil {
+		return
+	}
+	opt := *s.simp
+	opt.Proof = s.proofW
+	// Preprocessing honors the solver's budget and Interrupt: it stops at
+	// the next pass boundary (the partially simplified formula is still
+	// equisatisfiable), so a timeout or cancellation is never stuck behind
+	// an unbounded simplification; the time spent here is deducted from
+	// the first search so MaxTime stays an end-to-end bound.
+	s.outcome, s.preSpent, s.preRemaining = simplify.Run(s.pristine, opt, s.maxTime, s.core.Interrupted)
+	s.elimIndex = make(map[cnf.Var]int, len(s.outcome.Elims))
+	for i, e := range s.outcome.Elims {
+		s.elimIndex[e.V] = i
+	}
+	// Feeding the simplified formula (its empty clause, when preprocessing
+	// alone refuted the input) brings the core to the same verdict state.
+	s.core.AddFormula(s.outcome.Formula)
+}
+
+// restore reverts the elimination of v (no-op for live variables): its
+// original clauses go back into the core so the variable is a first-class
+// constraint again. Recorded clauses may mention variables eliminated
+// later, so the restore cascades.
+func (s *Solver) restore(v cnf.Var) {
+	i, ok := s.elimIndex[v]
+	if !ok {
+		return
+	}
+	delete(s.elimIndex, v)
+	for _, c := range s.outcome.Restore(i) {
+		for _, l := range c {
+			s.restore(l.Var())
+		}
+		s.core.AddClause(c)
+	}
 }
 
 // NumVars returns the number of variables seen so far.
-func (s *Solver) NumVars() int { return s.core.NumVars() }
+func (s *Solver) NumVars() int {
+	if n := s.pristine.NumVars; n > s.core.NumVars() {
+		return n
+	}
+	return s.core.NumVars()
+}
 
-// Solve runs the search. With a resource limit configured in Options the
-// result may be StatusUnknown.
-func (s *Solver) Solve() Result {
-	r := s.core.Solve()
-	if r.Status == StatusSat && s.verify {
-		if !cnf.Assignment(r.Model).Satisfies(s.pristine) {
-			// A model failing verification indicates an engine bug; fail
-			// loudly rather than hand back a wrong witness.
+// SimplifyOutcome returns the preprocessing result once the first solve has
+// run with SetSimplify enabled, and nil otherwise. Mutating it is not
+// allowed — the solver uses it for model reconstruction.
+func (s *Solver) SimplifyOutcome() *SimplifyOutcome { return s.outcome }
+
+// finishResult maps a simplified-space model back to the original
+// variables and verifies it.
+func (s *Solver) finishResult(r Result) Result {
+	if r.Status == StatusSat {
+		if s.outcome != nil {
+			r.Model = s.outcome.Extend(r.Model)
+		}
+		if s.verify && !cnf.Assignment(r.Model).Satisfies(s.pristine) {
+			// A model failing verification indicates an engine (or
+			// reconstruction) bug; fail loudly rather than hand back a
+			// wrong witness.
 			panic("berkmin: internal error: model does not satisfy the input formula")
 		}
 	}
 	return r
+}
+
+// solveCore runs one search call with the wall-clock budget reduced by
+// whatever the one-time preprocessing consumed (restoring the full budget
+// for subsequent incremental calls), and charges that preprocessing time
+// to the call's per-call Stats.Runtime so the reported number stays
+// end-to-end.
+func (s *Solver) solveCore(search func() Result) Result {
+	spent := s.preSpent
+	s.preSpent = 0
+	if spent > 0 && s.maxTime > 0 {
+		s.core.SetMaxTime(s.preRemaining)
+		defer s.core.SetMaxTime(s.maxTime)
+	}
+	r := search()
+	if spent > 0 {
+		// Charge preprocessing to the call's Runtime in both views — the
+		// returned Result and the Stats() accessor.
+		s.core.ChargeRuntime(spent)
+		r.Stats.Runtime += spent
+	}
+	return r
+}
+
+// Solve runs the search. With a resource limit configured in Options the
+// result may be StatusUnknown.
+func (s *Solver) Solve() Result {
+	s.preprocess()
+	return s.finishResult(s.solveCore(s.core.Solve))
 }
 
 // Stats returns statistics collected so far (also available in Result).
@@ -164,13 +322,13 @@ func (s *Solver) SolveAssuming(lits ...int) Result {
 		}
 		assumps[i] = cnf.FromDimacs(l)
 	}
-	r := s.core.SolveAssuming(assumps)
-	if r.Status == StatusSat && s.verify {
-		if !cnf.Assignment(r.Model).Satisfies(s.pristine) {
-			panic("berkmin: internal error: model does not satisfy the input formula")
-		}
+	s.preprocess()
+	// An assumption on an eliminated variable would be vacuous (nothing
+	// constrains it); bring its clauses back first.
+	for _, a := range assumps {
+		s.restore(a.Var())
 	}
-	return r
+	return s.finishResult(s.solveCore(func() Result { return s.core.SolveAssuming(assumps) }))
 }
 
 // StopReason says why a Solve call returned: StopNone for a definitive
@@ -207,6 +365,10 @@ type ParallelOptions struct {
 	MaxTime      time.Duration
 	// Seed diversifies the member PRNGs (0 means 1).
 	Seed uint64
+	// Simplify preprocesses the formula once before the members race
+	// (DefaultSimplifyOptions bounds); the winning model is mapped back to
+	// the original variables.
+	Simplify bool
 }
 
 // ParallelResult is the portfolio outcome: the winning member's Result
@@ -222,13 +384,18 @@ type ParallelResult struct {
 // are identical in kind to Solve's (models are verified before being
 // returned); only which member finds them — and how fast — varies.
 func SolveParallel(f *Formula, opt ParallelOptions) ParallelResult {
-	r := portfolio.Solve(f, portfolio.Options{
+	popt := portfolio.Options{
 		Jobs:         opt.Jobs,
 		ShareMaxLen:  opt.ShareMaxLen,
 		MaxConflicts: opt.MaxConflicts,
 		MaxTime:      opt.MaxTime,
 		BaseSeed:     opt.Seed,
-	})
+	}
+	if opt.Simplify {
+		so := DefaultSimplifyOptions()
+		popt.Simplify = &so
+	}
+	r := portfolio.Solve(f, popt)
 	return ParallelResult{Result: r.Result, Winner: r.Winner}
 }
 

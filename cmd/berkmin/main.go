@@ -67,7 +67,8 @@ func run() int {
 		proofPath    = flag.String("proof", "", "write a DRUP proof to this file")
 		strategy3    = flag.Bool("strategy3", false, "use the optimized global variable pick (BerkMin561 strategy 3)")
 		minimize     = flag.Bool("minimize", false, "enable learnt-clause minimization (extension)")
-		preprocess   = flag.Bool("simplify", false, "preprocess before solving (subsumption + variable elimination; extension)")
+		preprocess   = flag.Bool("simplify", true, "preprocess before solving: unit propagation, subsumption, self-subsuming resolution, variable elimination (extension)")
+		inprocess    = flag.Bool("inprocess", false, "simplify the clause database during search at restart boundaries (subsumption, strengthening, vivification; extension)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,9 @@ func run() int {
 	opt.Seed = *seed
 	opt.OptimizedGlobalPick = *strategy3
 	opt.MinimizeLearnt = *minimize
+	if *inprocess {
+		opt.EnableInprocessing()
+	}
 
 	var f *berkmin.Formula
 	var err error
@@ -98,24 +102,6 @@ func run() int {
 		return 1
 	}
 
-	// Optional preprocessing (incompatible with proof logging: the
-	// eliminated-variable reconstruction is not expressible in DRUP).
-	var outcome *berkmin.SimplifyOutcome
-	if *preprocess {
-		if *proofPath != "" {
-			fmt.Fprintln(os.Stderr, "-simplify and -proof are mutually exclusive")
-			return 1
-		}
-		outcome = berkmin.Simplify(f, berkmin.DefaultSimplifyOptions())
-		if outcome.Unsat {
-			fmt.Println("s UNSATISFIABLE")
-			return 20
-		}
-		fmt.Fprintf(os.Stderr, "c simplify: %d subsumed, %d strengthened lits, %d vars eliminated, %d units\n",
-			outcome.RemovedSubsumed, outcome.StrengthenedLits, outcome.EliminatedVars, outcome.PropagatedUnits)
-		f = outcome.Formula
-	}
-
 	// Portfolio mode: -jobs N runs N diversified configurations in
 	// parallel; the single-solver flags that pick one configuration or
 	// attach a proof do not apply, so reject them explicitly rather than
@@ -128,7 +114,7 @@ func run() int {
 		conflicting := ""
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "config", "strategy3", "minimize":
+			case "config", "strategy3", "minimize", "inprocess":
 				conflicting = f.Name
 			}
 		})
@@ -142,6 +128,7 @@ func run() int {
 			MaxConflicts: *maxConflicts,
 			MaxTime:      *timeout,
 			Seed:         *seed,
+			Simplify:     *preprocess,
 		})
 		if *showStats {
 			st := res.Stats
@@ -150,7 +137,7 @@ func run() int {
 				st.Decisions, st.Conflicts, st.ExportedClauses, st.ImportedClauses)
 			fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
 		}
-		return report(res.Result, noModel, outcome)
+		return report(res.Result, noModel)
 	}
 
 	s := berkmin.NewWithOptions(opt)
@@ -163,7 +150,14 @@ func run() int {
 		defer pf.Close()
 		bw := bufio.NewWriter(pf)
 		defer bw.Flush()
+		// Proof logging composes with -simplify: the preprocessor's
+		// additions and deletions lead the trace, so it verifies against
+		// the original formula.
 		s.SetProofWriter(bw)
+	}
+	if *preprocess {
+		so := berkmin.DefaultSimplifyOptions()
+		s.SetSimplify(&so)
 	}
 	start := time.Now()
 	s.AddFormula(f)
@@ -171,29 +165,34 @@ func run() int {
 
 	if *showStats {
 		st := res.Stats
+		if o := s.SimplifyOutcome(); o != nil {
+			fmt.Fprintf(os.Stderr, "c simplify: %d subsumed, %d strengthened lits, %d vars eliminated, %d units\n",
+				o.RemovedSubsumed, o.StrengthenedLits, o.EliminatedVars, o.PropagatedUnits)
+		}
 		fmt.Fprintf(os.Stderr, "c decisions=%d conflicts=%d propagations=%d restarts=%d\n",
 			st.Decisions, st.Conflicts, st.Propagations, st.Restarts)
 		fmt.Fprintf(os.Stderr, "c learnt=%d deleted=%d db-ratio=%.2f peak-ratio=%.2f\n",
 			st.LearntTotal, st.DeletedTotal, st.DatabaseRatio(), st.PeakRatio())
+		if st.InprocessPasses > 0 {
+			fmt.Fprintf(os.Stderr, "c inprocess: %d passes, %d subsumed, %d strengthened lits, %d vivified\n",
+				st.InprocessPasses, st.SubsumedClauses, st.StrengthenedLits, st.VivifiedClauses)
+		}
 		fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
 	}
 
-	return report(res, noModel, outcome)
+	return report(res, noModel)
 }
 
 // report prints the verdict in the SAT-competition convention and returns
 // the matching exit code — shared by the sequential and portfolio paths.
-func report(res berkmin.Result, noModel *bool, outcome *berkmin.SimplifyOutcome) int {
+// Models arrive already mapped back to the original variables.
+func report(res berkmin.Result, noModel *bool) int {
 	switch res.Status {
 	case berkmin.StatusSat:
 		fmt.Println("s SATISFIABLE")
 		if !*noModel {
-			model := res.Model
-			if outcome != nil {
-				model = outcome.Extend(model)
-			}
 			out := bufio.NewWriter(os.Stdout)
-			berkmin.WriteModel(out, model)
+			berkmin.WriteModel(out, res.Model)
 			out.Flush()
 		}
 		return 10

@@ -10,18 +10,26 @@ import (
 // DESIGN.md §5 calls out. Each runs a family of configurations over the
 // hard-instance instrument set and reports per-config totals.
 
-// ablationReport runs each configuration over the hard set.
-func ablationReport(title string, cfgs []Config, sc Scale, lim Limits, notes []string) *Report {
+// ablationRow is one configuration under test with its own run limits
+// (the simplify ablation toggles Limits.Simplify per row).
+type ablationRow struct {
+	cfg Config
+	lim Limits
+}
+
+// ablationRows runs each row over the hard set and renders the shared
+// ablation report shape.
+func ablationRows(title string, rows []ablationRow, sc Scale, notes []string) *Report {
 	insts := HardInstances(sc)
 	rep := &Report{
 		Title:  title,
 		Header: []string{"Config", "Total (s)", "Conflicts", "Decisions", "Aborted"},
 		Notes:  notes,
 	}
-	for _, cfg := range cfgs {
+	for _, row := range rows {
 		var cr ClassResult
 		for _, inst := range insts {
-			r := RunInstance(inst, cfg, lim)
+			r := RunInstance(inst, row.cfg, row.lim)
 			cr.Time += r.Stats.Runtime
 			cr.Conflicts += r.Stats.Conflicts
 			cr.Decisions += r.Stats.Decisions
@@ -32,16 +40,25 @@ func ablationReport(title string, cfgs []Config, sc Scale, lim Limits, notes []s
 				cr.Wrong++
 			}
 		}
-		row := []string{cfg.Name, fmtSeconds(cr.Time),
+		rep.Rows = append(rep.Rows, []string{row.cfg.Name, fmtSeconds(cr.Time),
 			fmt.Sprintf("%d", cr.Conflicts), fmt.Sprintf("%d", cr.Decisions),
-			fmt.Sprintf("%d", cr.Aborted)}
-		rep.Rows = append(rep.Rows, row)
+			fmt.Sprintf("%d", cr.Aborted)})
 		if cr.Wrong > 0 {
 			rep.Notes = append(rep.Notes,
-				fmt.Sprintf("WARNING: %s produced %d wrong answers", cfg.Name, cr.Wrong))
+				fmt.Sprintf("WARNING: %s produced %d wrong answers", row.cfg.Name, cr.Wrong))
 		}
 	}
 	return rep
+}
+
+// ablationReport runs each configuration over the hard set under one
+// shared Limits.
+func ablationReport(title string, cfgs []Config, sc Scale, lim Limits, notes []string) *Report {
+	rows := make([]ablationRow, len(cfgs))
+	for i, cfg := range cfgs {
+		rows[i] = ablationRow{cfg, lim}
+	}
+	return ablationRows(title, rows, sc, notes)
 }
 
 // AblationYoungFraction varies the young-zone size (paper: 15/16).
@@ -129,6 +146,28 @@ func AblationMinimize(sc Scale, lim Limits) *Report {
 		[]Config{{Name: "off", Opt: off}, {Name: "on", Opt: on}}, sc, lim, nil)
 }
 
+// AblationSimplify is the ISSUE-3 simplification ablation: the same
+// BerkMin engine with preprocessing (internal/simplify) and inprocessing
+// (core inprocess.go) toggled independently. Preprocessing is a Limits
+// toggle (it runs outside the engine), so each row carries its own Limits.
+func AblationSimplify(sc Scale, lim Limits) *Report {
+	row := func(name string, opt core.Options, simplify bool) ablationRow {
+		l := lim
+		l.Simplify = simplify
+		return ablationRow{Config{Name: name, Opt: opt}, l}
+	}
+	return ablationRows("Ablation — simplification: preprocessing and inprocessing (extension)",
+		[]ablationRow{
+			row("baseline", core.DefaultOptions(), false),
+			row("preprocess", core.DefaultOptions(), true),
+			row("inprocess", core.InprocessingOptions(), false),
+			row("pre+inprocess", core.InprocessingOptions(), true),
+		}, sc, []string{
+			"preprocess: unit propagation + subsumption + self-subsuming resolution + bounded variable elimination before search",
+			"inprocess: subsumption + strengthening + vivification at restart boundaries",
+		})
+}
+
 // AblationPhaseSaving measures phase saving against the paper's §7
 // polarity heuristics.
 func AblationPhaseSaving(sc Scale, lim Limits) *Report {
@@ -156,12 +195,14 @@ func Ablation(name string, sc Scale, lim Limits) (*Report, error) {
 		return AblationMinimize(sc, lim), nil
 	case "phase":
 		return AblationPhaseSaving(sc, lim), nil
+	case "simplify":
+		return AblationSimplify(sc, lim), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase)", name)
+		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify)", name)
 	}
 }
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase"}
+	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase", "simplify"}
 }

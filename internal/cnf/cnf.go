@@ -99,6 +99,47 @@ func (c Clause) Has(l Lit) bool {
 	return false
 }
 
+// Signature folds the clause's literals into a 64-bit occurrence set:
+// c.Signature() &^ d.Signature() != 0 proves c ⊄ d without touching d's
+// literals — the standard fast-reject filter for subsumption. Shared by
+// the preprocessor (package simplify) and the in-search simplifier
+// (package core), so the two subsumption kernels cannot drift apart.
+func (c Clause) Signature() uint64 {
+	var s uint64
+	for _, l := range c {
+		s |= 1 << (uint(l) % 64)
+	}
+	return s
+}
+
+// ContainsAll reports whether the clause contains every literal of sub
+// (linear scans: clause lengths are small and callers signature-filter
+// first).
+func (c Clause) ContainsAll(sub []Lit) bool {
+	for _, l := range sub {
+		if !c.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsumesExcept reports whether (c \ {l}) ∪ {neg} ⊆ d — the
+// self-subsuming-resolution test: when it holds, resolving c and d on l
+// yields a strict subset of d, so neg can be deleted from d.
+func SubsumesExcept(c, d Clause, l, neg Lit) bool {
+	for _, x := range c {
+		want := x
+		if x == l {
+			want = neg
+		}
+		if !d.Has(want) {
+			return false
+		}
+	}
+	return true
+}
+
 // MaxVar returns the largest variable mentioned in the clause.
 func (c Clause) MaxVar() Var {
 	var m Var

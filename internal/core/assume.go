@@ -15,6 +15,14 @@ import "berkmin/internal/cnf"
 // (inclusion-minimal-ish) subset of assumptions responsible; a globally
 // unsatisfiable formula reports an empty FailedAssumptions.
 func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Result {
+	// An assumption may name a variable no clause has mentioned yet; it is
+	// simply free (the assumption fixes it, constraining nothing). Grow
+	// the per-variable arrays so the solve loop can index it.
+	for _, a := range assumptions {
+		if v := int(a.Var()); v > s.nVars {
+			s.ensureVars(v)
+		}
+	}
 	return s.solve(assumptions)
 }
 

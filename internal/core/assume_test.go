@@ -226,3 +226,131 @@ func TestIncrementalAgainstOracle(t *testing.T) {
 		_ = dead
 	}
 }
+
+// TestSolveAssumingDuplicateAssumptions: repeating an assumption must not
+// confuse the per-level assumption indexing (a satisfied assumption gets a
+// dummy decision level) or the answer.
+func TestSolveAssumingDuplicateAssumptions(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(-1, 3))
+	r := s.SolveAssuming([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(1)})
+	if r.Status != StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !r.Model[1] || !r.Model[2] || !r.Model[3] {
+		t.Fatalf("model %v does not honor the assumptions", r.Model)
+	}
+	// Duplicated contradictory assumptions still fail cleanly.
+	r = s.SolveAssuming([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(1), cnf.NegLit(1)})
+	if r.Status != StatusUnsat {
+		t.Fatalf("x ∧ x ∧ ¬x: %v", r.Status)
+	}
+	assertFailedSubset(t, r, []cnf.Lit{cnf.PosLit(1), cnf.NegLit(1)})
+}
+
+// assertFailedSubset checks FailedAssumptions ⊆ given and non-empty.
+func assertFailedSubset(t *testing.T, r Result, given []cnf.Lit) {
+	t.Helper()
+	if len(r.FailedAssumptions) == 0 {
+		t.Fatal("assumption-caused UNSAT reported no failed assumptions")
+	}
+	allowed := map[cnf.Lit]bool{}
+	for _, l := range given {
+		allowed[l] = true
+	}
+	for _, l := range r.FailedAssumptions {
+		if !allowed[l] {
+			t.Fatalf("failed assumption %v is not among the given assumptions %v", l, given)
+		}
+	}
+}
+
+// TestSolveAssumingContradictoryPairSubset: assuming x and ¬x must fail
+// with a subset of exactly those assumptions.
+func TestSolveAssumingContradictoryPairSubset(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(2, 3))
+	given := []cnf.Lit{cnf.PosLit(3), cnf.PosLit(1), cnf.NegLit(1)}
+	r := s.SolveAssuming(given)
+	if r.Status != StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	assertFailedSubset(t, r, given)
+}
+
+// TestFailedAssumptionsSubsetAfterIncremental pins the ISSUE-3 edge case:
+// after a prior incremental call has left learnt clauses and level-0 facts
+// behind, a failing SolveAssuming must still report only given assumptions
+// (never internal literals reached through old antecedents).
+func TestFailedAssumptionsSubsetAfterIncremental(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddFormula(pigeonhole(4))
+	// Shift the pigeonhole away from vars 1..3 — add fresh structure.
+	n := s.NumVars()
+	a := cnf.Var(n + 1)
+	b := cnf.Var(n + 2)
+	c := cnf.Var(n + 3)
+	s.AddClause(cnf.Clause{cnf.PosLit(a), cnf.PosLit(b)})
+	s.AddClause(cnf.Clause{cnf.NegLit(b), cnf.PosLit(c)})
+	// Prior incremental call: a budgeted run over the UNSAT core leaves
+	// learnt clauses behind without finishing.
+	s.opt.MaxConflicts = 10
+	if r := s.Solve(); r.Stop != StopConflicts {
+		t.Fatalf("budgeted call: stop=%v", r.Stop)
+	}
+	s.opt.MaxConflicts = 0
+	given := []cnf.Lit{cnf.NegLit(a), cnf.NegLit(b)}
+	r := s.SolveAssuming(given)
+	if r.Status != StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	// The formula is globally UNSAT (pigeonhole), so either an empty set
+	// (refuted without the assumptions) or a subset of the given
+	// assumptions is acceptable — anything else is a leak.
+	if len(r.FailedAssumptions) > 0 {
+		assertFailedSubset(t, r, given)
+	}
+}
+
+// TestFailedAssumptionsSubsetAfterIncrementalSat is the satisfiable-core
+// variant: the base formula stays SAT, so the failure must come from — and
+// name only — the assumptions.
+func TestFailedAssumptionsSubsetAfterIncrementalSat(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(-2, 3))
+	s.AddClause(cnf.NewClause(-3, 4))
+	if r := s.Solve(); r.Status != StatusSat {
+		t.Fatalf("base: %v", r.Status)
+	}
+	s.AddClause(cnf.NewClause(-1, -4))
+	given := []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2)}
+	r := s.SolveAssuming(given)
+	if r.Status != StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	assertFailedSubset(t, r, given)
+}
+
+// TestSolveAssumingUnknownVariable: assuming on a variable no clause has
+// ever mentioned must not crash — the variable is free and the assumption
+// simply fixes it.
+func TestSolveAssumingUnknownVariable(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	r := s.SolveAssuming([]cnf.Lit{cnf.PosLit(5)})
+	if r.Status != StatusSat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if len(r.Model) <= 5 || !r.Model[5] {
+		t.Fatalf("model %v does not honor the assumption on the fresh variable", r.Model)
+	}
+	// Contradicting it afterwards fails on the assumptions alone.
+	r = s.SolveAssuming([]cnf.Lit{cnf.PosLit(5), cnf.NegLit(5)})
+	if r.Status != StatusUnsat {
+		t.Fatalf("x5 ∧ ¬x5: %v", r.Status)
+	}
+	assertFailedSubset(t, r, []cnf.Lit{cnf.PosLit(5), cnf.NegLit(5)})
+}

@@ -57,6 +57,52 @@ func BenchmarkSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkInprocess measures one steady-state inprocessing pass: after
+// the first call has simplified what it can and the scratch buffers have
+// reached capacity, a pass over an already-clean database must allocate
+// nothing (the CI bench job gates allocs/op like BenchmarkPropagate).
+func BenchmarkInprocess(b *testing.B) {
+	o := InprocessingOptions()
+	s := New(o)
+	const n = 400
+	for i := 1; i+2 < n; i++ {
+		s.AddClause(cnf.NewClause(-i, i+1, i+2))
+	}
+	for i := 1; i+40 < n; i += 7 {
+		s.AddClause(cnf.NewClause(i, -(i + 20), i+40))
+	}
+	base := 1
+	for i := 0; i < 64; i++ {
+		mkLearnt(s, base, 4+i%9, int64(i))
+		base += 4 + i%9
+	}
+	s.inprocess() // reach steady state: database simplified, scratch at capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.inprocess()
+	}
+}
+
+// BenchmarkSolveInprocess is the end-to-end inprocessing benchmark: the
+// same pigeonhole solve as BenchmarkSolve with every inprocessing pass
+// enabled, so the cost of subsumption, strengthening and vivification at
+// restart boundaries is perf-gated alongside the plain engine.
+func BenchmarkSolveInprocess(b *testing.B) {
+	f := pigeonhole(7)
+	o := InprocessingOptions()
+	o.InprocessPeriod = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(o)
+		s.AddFormula(f)
+		if r := s.Solve(); r.Status != StatusUnsat {
+			b.Fatalf("status = %v, want UNSAT", r.Status)
+		}
+	}
+}
+
 // BenchmarkSolveSat exercises the satisfiable path (model extraction, no
 // level-0 empty clause) on a random 3-SAT formula below the phase
 // transition.

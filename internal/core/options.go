@@ -125,6 +125,35 @@ type Options struct {
 	// available as an extension ablation).
 	MinimizeLearnt bool
 
+	// Inprocessing (post-BerkMin techniques; see inprocess.go). Every
+	// InprocessPeriod restarts — immediately after §8 database management,
+	// while the solver sits at decision level 0 — the enabled passes run
+	// directly over the clause arena. All passes are off by default;
+	// EnableInprocessing turns them on with default bounds.
+	//
+	// InprocessPeriod is the number of restarts between inprocessing
+	// passes (0 disables inprocessing entirely).
+	InprocessPeriod int
+	// InprocessSubsume removes clauses that are supersets of another live
+	// clause (the subsumed clause is logically redundant).
+	InprocessSubsume bool
+	// InprocessStrengthen applies self-subsuming resolution: when
+	// resolving clauses c and d on a literal yields a subset of d, the
+	// resolved-on literal is deleted from d in place.
+	InprocessStrengthen bool
+	// InprocessVivify re-derives learnt clauses by asserting the negation
+	// of their literals one at a time and propagating: literals whose
+	// negation is already implied are dropped, and an early conflict or
+	// implied literal truncates the clause.
+	InprocessVivify bool
+	// InprocessMaxOcc bounds the occurrence lists scanned per candidate
+	// during subsumption and strengthening (cost control; 0 = default 40).
+	InprocessMaxOcc int
+	// VivifyMaxClauses bounds how many learnt clauses one inprocessing
+	// pass vivifies; a persistent cursor rotates through the learnt stack
+	// across passes (0 = default 128).
+	VivifyMaxClauses int
+
 	// PhaseSaving remembers each variable's last assigned polarity and
 	// reuses it on decisions (a post-BerkMin technique from RSAT-era
 	// solvers; off by default — it replaces the paper's §7 polarity
@@ -168,6 +197,25 @@ func DefaultOptions() Options {
 		LimitedKeepLen:   42,
 		Seed:             1,
 	}
+}
+
+// EnableInprocessing turns on every inprocessing pass (subsumption,
+// self-subsuming resolution, vivification) with default bounds: one pass
+// every 4 restarts.
+func (o *Options) EnableInprocessing() {
+	o.InprocessPeriod = 4
+	o.InprocessSubsume = true
+	o.InprocessStrengthen = true
+	o.InprocessVivify = true
+}
+
+// InprocessingOptions is BerkMin with arena-native inprocessing enabled —
+// the extension configuration measured by the `satbench -ablation simplify`
+// experiment.
+func InprocessingOptions() Options {
+	o := DefaultOptions()
+	o.EnableInprocessing()
+	return o
 }
 
 // LessSensitivityOptions is Table 1's ablation: Chaff-style variable
@@ -263,6 +311,15 @@ func (o *Options) normalize() {
 	}
 	if o.LimitedKeepLen <= 0 {
 		o.LimitedKeepLen = 42
+	}
+	if o.InprocessPeriod < 0 {
+		o.InprocessPeriod = 0
+	}
+	if o.InprocessMaxOcc <= 0 {
+		o.InprocessMaxOcc = 40
+	}
+	if o.VivifyMaxClauses <= 0 {
+		o.VivifyMaxClauses = 128
 	}
 	if o.Seed == 0 {
 		o.Seed = 0x9E3779B97F4A7C15

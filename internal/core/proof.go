@@ -1,10 +1,8 @@
 package core
 
 import (
-	"bufio"
-	"strconv"
-
 	"berkmin/internal/cnf"
+	"berkmin/internal/drup"
 )
 
 // DRUP proof logging. When a proof writer is attached, every learnt clause
@@ -15,35 +13,52 @@ import (
 // predates DRUP — added because it lets the test suite independently verify
 // every UNSAT answer.
 
-func (s *Solver) proofWrite(prefix string, lits []cnf.Lit) {
-	if s.proof == nil {
-		return
-	}
-	var buf [16]byte
-	bw, isBuf := s.proof.(*bufio.Writer)
-	write := func(b []byte) {
-		if isBuf {
-			bw.Write(b)
-		} else {
-			s.proof.Write(b)
-		}
-	}
-	if prefix != "" {
-		write([]byte(prefix))
-	}
-	for _, l := range lits {
-		b := strconv.AppendInt(buf[:0], int64(l.Dimacs()), 10)
-		b = append(b, ' ')
-		write(b)
-	}
-	write([]byte("0\n"))
+// proofWrite formats and emits one line through the solver-owned reusable
+// buffer, so steady-state proof logging allocates nothing.
+func (s *Solver) proofWrite(del bool, lits []cnf.Lit) {
+	s.proofBuf = drup.AppendLine(s.proofBuf, del, lits)
+	s.proof.Write(s.proofBuf)
 }
 
 // proofAdd logs a learnt (or strengthened) clause addition.
-func (s *Solver) proofAdd(lits []cnf.Lit) { s.proofWrite("", lits) }
+func (s *Solver) proofAdd(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proofWrite(false, lits)
+	}
+}
 
 // proofDelete logs a clause deletion.
-func (s *Solver) proofDelete(lits []cnf.Lit) { s.proofWrite("d ", lits) }
+func (s *Solver) proofDelete(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.proofWrite(true, lits)
+	}
+}
 
 // proofEmpty logs the empty clause, completing an UNSAT proof.
-func (s *Solver) proofEmpty() { s.proofWrite("", nil) }
+func (s *Solver) proofEmpty() {
+	if s.proof != nil {
+		s.proofWrite(false, nil)
+	}
+}
+
+// proofShrink logs an in-place clause strengthening: the shortened form is
+// added first (it is a resolvent, hence RUP against a database that still
+// holds the original), then the original is deleted. old must be a snapshot
+// taken before the literals were overwritten; proofSnapshot provides one.
+func (s *Solver) proofShrink(now, old []cnf.Lit) {
+	if s.proof == nil {
+		return
+	}
+	s.proofAdd(now)
+	s.proofDelete(old)
+}
+
+// proofSnapshot copies the clause's current literals into buf when proof
+// logging is on (deletion lines must show the pre-edit literals); without a
+// proof writer it returns nil and costs nothing.
+func (s *Solver) proofSnapshot(buf []cnf.Lit, c clauseRef) []cnf.Lit {
+	if s.proof == nil {
+		return nil
+	}
+	return append(buf[:0], s.ca.lits(c)...)
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+type devNull struct{}
+
+func (devNull) Write(p []byte) (int, error) { return len(p), nil }
+
+var _ io.Writer = devNull{}
+
+func TestProofLoggingSteadyStateAllocs(t *testing.T) {
+	s := New(DefaultOptions())
+	s.SetProofWriter(devNull{})
+	s.ensureVars(20)
+	lits := cnf.NewClause(1, -2, 3, -4, 5)
+	s.proofAdd(lits) // warm the buffer
+	n := testing.AllocsPerRun(1000, func() {
+		s.proofAdd(lits)
+		s.proofDelete(lits)
+	})
+	if n != 0 {
+		t.Fatalf("proof logging allocates %v allocs/op in steady state, want 0", n)
+	}
+}

@@ -60,16 +60,23 @@ func (s *Solver) reduceDB() {
 // false at level 0, over both problem and learnt clauses. Clauses reduced
 // to units become retained level-0 assignments.
 func (s *Solver) simplifyLevel0() {
-	// Level-0 variables keep their assignment forever; their antecedents
-	// are about to be tombstoned or relocated, so drop the refs.
-	for _, l := range s.trail {
-		s.reason[l.Var()] = refUndef
-	}
+	s.clearLevel0Reasons()
 	s.clauses = s.simplifySlice(s.clauses)
 	if !s.ok {
 		return
 	}
 	s.learnts = s.simplifySlice(s.learnts)
+}
+
+// clearLevel0Reasons drops the antecedent refs of every trail variable.
+// Level-0 variables keep their assignment forever and their reasons are
+// never consulted again (conflict analysis skips level-0 literals), but the
+// refs would keep tombstoned clauses alive across a GC — so every pass that
+// frees or relocates clauses clears them first. Must run at decision level 0.
+func (s *Solver) clearLevel0Reasons() {
+	for _, l := range s.trail {
+		s.reason[l.Var()] = refUndef
+	}
 }
 
 func (s *Solver) simplifySlice(list []clauseRef) []clauseRef {

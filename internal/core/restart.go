@@ -10,21 +10,34 @@ func (s *Solver) restart() {
 	s.sinceRestart = 0
 	s.cancelUntil(0)
 	s.reduceDB()
+	// Inprocessing (an extension; inprocess.go) piggybacks on the restart
+	// boundary: the solver is at level 0 with its data structures freshly
+	// recomputed, exactly the state the passes need.
+	if s.ok && s.inprocessEnabled() {
+		s.sinceInprocess++
+		if s.sinceInprocess >= s.opt.InprocessPeriod {
+			s.inprocess()
+		}
+	}
 	s.restartLimit = s.nextRestartLimit()
 }
 
 // nextRestartLimit computes the conflict interval until the next restart
-// according to the configured policy.
+// according to the configured policy, advancing the policy's position in
+// its sequence (geometric growth, Luby index).
 func (s *Solver) nextRestartLimit() int {
 	switch s.opt.Restart {
 	case RestartGeometric:
-		limit := float64(s.opt.RestartFirst)
-		for i := 0; i < s.lubyIndex; i++ {
-			limit *= s.opt.RestartFactor
-		}
-		s.lubyIndex++
+		// geomLimit carries the growing interval across restarts, so the
+		// total cost over R restarts is O(R) instead of the O(R²) of
+		// recomputing the power series from scratch each time.
+		limit := s.geomLimit
 		if limit > 1e9 {
 			limit = 1e9
+		}
+		s.geomLimit = limit * s.opt.RestartFactor
+		if s.geomLimit > 1e9 {
+			s.geomLimit = 1e9
 		}
 		return int(limit)
 	case RestartLuby:

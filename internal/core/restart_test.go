@@ -75,6 +75,68 @@ func TestLubyRestartFollowsSequence(t *testing.T) {
 	}
 }
 
+// TestGeometricLimitMatchesClosedForm pins the carried-limit implementation
+// to the closed form first·factor^i with the 1e9 clamp: the O(1)-per-restart
+// field must reproduce exactly what recomputing the series from scratch did.
+func TestGeometricLimitMatchesClosedForm(t *testing.T) {
+	o := DefaultOptions()
+	o.Restart = RestartGeometric
+	o.RestartFirst = 100
+	o.RestartFactor = 1.5
+	s := New(o)
+	limit := 100.0 // New consumed the first interval (100)
+	for i := 1; i < 150; i++ {
+		limit *= 1.5
+		want := limit
+		if want > 1e9 {
+			want = 1e9
+		}
+		if got := s.nextRestartLimit(); got != int(want) {
+			t.Fatalf("interval %d = %d, want %d", i, got, int(want))
+		}
+	}
+	// 150 doublings are deep past the clamp: the carried limit must have
+	// saturated at 1e9 instead of growing without bound.
+	if got := s.nextRestartLimit(); got != int(1e9) {
+		t.Fatalf("clamped interval = %d, want 1e9", got)
+	}
+}
+
+// TestSolveResetsRestartAndAgingIntervals is the incremental-state
+// regression test: a call that aborts mid-interval must not make the next
+// call restart (or age activities) almost immediately.
+func TestSolveResetsRestartAndAgingIntervals(t *testing.T) {
+	o := DefaultOptions()
+	o.RestartFirst = 100
+	o.RestartJitter = 0
+	o.AgingPeriod = 100
+	o.MaxConflicts = 60
+	s := New(o)
+	s.AddFormula(pigeonhole(6))
+	r1 := s.Solve()
+	if r1.Stop != StopConflicts || r1.Stats.Conflicts != 60 {
+		t.Fatalf("first call: stop=%v conflicts=%d, want conflict-limit at 60", r1.Stop, r1.Stats.Conflicts)
+	}
+	if r1.Stats.Restarts != 0 {
+		t.Fatalf("first call restarted after %d conflicts with limit 100", r1.Stats.Conflicts)
+	}
+	// Second call: 60 more conflicts. Without the solve-start reset, the
+	// leftover sinceRestart/sinceAging of 60 reach the 100-conflict limits
+	// after only 40 more conflicts and fire prematurely.
+	s.opt.MaxConflicts = 120
+	r2 := s.Solve()
+	if r2.Stats.Conflicts != 120 {
+		t.Fatalf("second call: cumulative conflicts = %d, want 120", r2.Stats.Conflicts)
+	}
+	if r2.Stats.Restarts != 0 {
+		t.Fatalf("premature restart: aborted call leaked its partial interval (restarts=%d)", r2.Stats.Restarts)
+	}
+	if s.sinceRestart != 60 || s.sinceAging != 60 {
+		t.Fatalf("per-interval counters not reset at solve start: sinceRestart=%d sinceAging=%d, want 60 60",
+			s.sinceRestart, s.sinceAging)
+	}
+}
+
 func TestRestartNeverDisablesRestarts(t *testing.T) {
 	o := DefaultOptions()
 	o.Restart = RestartNever

@@ -89,6 +89,16 @@ type Solver struct {
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
 
+	// Inprocessing scratch (inprocess.go), reused so steady-state passes
+	// allocate nothing: work list, per-literal occurrence index, size
+	// order, vivification literal buffers, proof-deletion snapshot.
+	inpWork  []inpClause
+	inpOcc   [][]int32
+	inpOrder []int32
+	inpLits  []cnf.Lit
+	inpKeep  []cnf.Lit
+	inpSnap  []cnf.Lit
+
 	order varHeap // strategy-3 activity heap (Options.OptimizedGlobalPick)
 
 	rng xorshift
@@ -111,15 +121,20 @@ type Solver struct {
 
 	ok             bool // false once UNSAT is established at level 0
 	sinceTimeCheck uint64
-	restartLimit   int // conflicts until next restart
-	lubyIndex      int
+	restartLimit   int     // conflicts until next restart
+	lubyIndex      int     // position in the Luby sequence (RestartLuby)
+	geomLimit      float64 // current interval of the geometric sequence (RestartGeometric)
 	sinceRestart   uint64
 	sinceAging     uint64
 	sinceMark      int
+	sinceInprocess int   // restarts since the last inprocessing pass
+	vivifyHead     int   // round-robin cursor over the learnt stack (vivification)
+	noPhaseSave    bool  // suppress phase saving for artificial assignments (vivification)
 	oldThreshold   int64 // ReduceBerkMin's growing old-clause activity threshold
 	stats          Stats
 	deadline       time.Time
 	proof          io.Writer // optional DRUP proof log
+	proofBuf       []byte    // reusable DRUP line buffer (drup.AppendLine)
 }
 
 // New returns a Solver with the given options.
@@ -132,6 +147,7 @@ func New(opt Options) *Solver {
 		oldThreshold: opt.OldThresholdInit,
 	}
 	s.order.act = &s.varAct
+	s.geomLimit = float64(opt.RestartFirst)
 	s.restartLimit = s.nextRestartLimit()
 	return s
 }
@@ -291,7 +307,7 @@ func (s *Solver) cancelUntil(level int) {
 	bound := s.trailLim[level]
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
-		if s.opt.PhaseSaving {
+		if s.opt.PhaseSaving && !s.noPhaseSave {
 			s.phase[v] = s.assigns[v]
 		}
 		s.assigns[v] = lUndef
@@ -331,6 +347,18 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 
 	s.stats.InitialClauses = len(s.clauses)
 	s.notePeak()
+	// Re-arm the restart and aging intervals. A previous incremental call
+	// that returned mid-interval (budget hit, interrupt) must not carry its
+	// partial counts into this one, or the new search would restart — and
+	// age every activity — almost immediately.
+	s.sinceRestart = 0
+	s.sinceAging = 0
+	if s.opt.Restart == RestartFixed {
+		// Fixed intervals are positionless: draw a fresh jittered limit.
+		// Geometric and Luby limits keep their current sequence position —
+		// restartLimit already holds the interval in progress.
+		s.restartLimit = s.nextRestartLimit()
+	}
 	if s.opt.MaxTime > 0 {
 		s.deadline = start.Add(s.opt.MaxTime)
 	} else {
@@ -456,6 +484,23 @@ func (s *Solver) Interrupt() { s.interrupted.Store(true) }
 // ClearInterrupt re-arms a solver that was interrupted, so it can be used
 // incrementally again.
 func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether Interrupt has been called without a
+// ClearInterrupt since. Like Interrupt it is safe from any goroutine;
+// front-ends poll it to cancel work (e.g. preprocessing) that runs
+// outside the search loop.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// SetMaxTime changes the per-call wall-clock budget (Options.MaxTime; 0 =
+// unlimited). Must be called between Solve calls, from the solving
+// goroutine. Front-ends use it to deduct time already spent preprocessing
+// so the configured limit stays an end-to-end bound.
+func (s *Solver) SetMaxTime(d time.Duration) { s.opt.MaxTime = d }
+
+// ChargeRuntime adds externally spent wall-clock time (e.g. front-end
+// preprocessing) to the most recent call's Runtime, keeping the Stats
+// accessor consistent with the per-call end-to-end accounting.
+func (s *Solver) ChargeRuntime(d time.Duration) { s.stats.Runtime += d }
 
 // extractModel snapshots the current total assignment.
 func (s *Solver) extractModel() []bool {

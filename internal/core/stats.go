@@ -81,6 +81,16 @@ func (r StopReason) ResourceLimit() bool {
 }
 
 // Stats aggregates everything the paper's tables report about a run.
+//
+// Incremental semantics: a Solver keeps one Stats value for its whole
+// lifetime, so across Solve / SolveAssuming calls every counter is
+// CUMULATIVE — Conflicts, Decisions, Propagations, Restarts, the learnt /
+// deleted / simplification / inprocessing totals, the skin histogram and
+// PeakLiveClauses all keep growing from call to call. Exactly three fields
+// are PER-CALL, overwritten at the start or end of each solve: Stop (why
+// the most recent call returned), Runtime (the most recent call's
+// wall-clock) and InitialClauses (the problem-clause count as of the most
+// recent call). TestStatsIncrementalSemantics pins this contract.
 type Stats struct {
 	Decisions    uint64
 	Conflicts    uint64
@@ -112,16 +122,29 @@ type Stats struct {
 	StrippedLits  uint64 // false literals stripped at level 0
 	ArenaGCs      uint64 // clause-arena compaction passes (lazy deletion reclaim)
 
-	// InitialClauses is the clause count of the formula as given;
-	// PeakLiveClauses is the largest number of clauses simultaneously held
-	// (Table 9's "largest CNF" ratio numerator).
+	// Inprocessing (extension beyond the paper; Options.InprocessPeriod):
+	// InprocessPasses counts completed passes, SubsumedClauses the clauses
+	// removed as supersets of another live clause, StrengthenedLits the
+	// literals deleted by self-subsuming resolution, and VivifiedClauses
+	// the clauses shortened by vivification.
+	InprocessPasses  uint64
+	SubsumedClauses  uint64
+	StrengthenedLits uint64
+	VivifiedClauses  uint64
+
+	// InitialClauses is the problem-clause count as of the most recent
+	// Solve call (per-call: preprocessing and level-0 simplification shrink
+	// it between calls); PeakLiveClauses is the largest number of clauses
+	// simultaneously held over the solver's lifetime (Table 9's "largest
+	// CNF" ratio numerator).
 	InitialClauses  int
 	PeakLiveClauses int
 
 	// Skin is the f(r) histogram of Table 3.
 	Skin SkinHist
 
-	// Runtime is the wall-clock duration of the Solve call.
+	// Runtime is the wall-clock duration of the most recent Solve call
+	// (per-call, not cumulative).
 	Runtime time.Duration
 }
 

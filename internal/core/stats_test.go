@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// TestStatsIncrementalSemantics pins the contract documented on Stats:
+// counters are cumulative across incremental calls, while Stop, Runtime
+// and InitialClauses are per-call.
+func TestStatsIncrementalSemantics(t *testing.T) {
+	o := DefaultOptions()
+	o.MaxConflicts = 10
+	s := New(o)
+	s.AddFormula(pigeonhole(5))
+
+	r1 := s.Solve()
+	if r1.Stop != StopConflicts || r1.Stats.Conflicts != 10 {
+		t.Fatalf("first call: stop=%v conflicts=%d, want conflict-limit at 10", r1.Stop, r1.Stats.Conflicts)
+	}
+	if r1.Stats.Runtime <= 0 {
+		t.Fatal("first call: Runtime not recorded")
+	}
+
+	s.opt.MaxConflicts = 0
+	r2 := s.Solve()
+	if r2.Status != StatusUnsat {
+		t.Fatalf("second call: %v", r2.Status)
+	}
+	// Cumulative counters keep growing across calls.
+	if r2.Stats.Conflicts < r1.Stats.Conflicts {
+		t.Fatalf("Conflicts not cumulative: %d then %d", r1.Stats.Conflicts, r2.Stats.Conflicts)
+	}
+	if r2.Stats.Decisions < r1.Stats.Decisions {
+		t.Fatalf("Decisions not cumulative: %d then %d", r1.Stats.Decisions, r2.Stats.Decisions)
+	}
+	if r2.Stats.Propagations <= r1.Stats.Propagations {
+		t.Fatalf("Propagations not cumulative: %d then %d", r1.Stats.Propagations, r2.Stats.Propagations)
+	}
+	// Per-call fields are overwritten, not accumulated.
+	if r2.Stats.Stop != StopNone {
+		t.Fatalf("second call: Stop=%v leaked from the aborted call", r2.Stats.Stop)
+	}
+	if r2.Stats.InitialClauses > r1.Stats.InitialClauses {
+		t.Fatalf("InitialClauses grew without new clauses: %d then %d",
+			r1.Stats.InitialClauses, r2.Stats.InitialClauses)
+	}
+
+	// Adding clauses is reflected in the next call's InitialClauses
+	// snapshot (modulo level-0 simplification, which only shrinks it).
+	s2 := New(DefaultOptions())
+	s2.AddClause(cnf.NewClause(1, 2))
+	a := s2.Solve().Stats.InitialClauses
+	s2.AddClause(cnf.NewClause(3, 4))
+	s2.AddClause(cnf.NewClause(-3, 4))
+	b := s2.Solve().Stats.InitialClauses
+	if a != 1 || b != 3 {
+		t.Fatalf("InitialClauses snapshots = %d then %d, want 1 then 3", a, b)
+	}
+}

@@ -67,6 +67,28 @@ func (s *Solver) propagate() clauseRef {
 	return refUndef
 }
 
+// detach removes a single clause's two watcher entries, leaving every other
+// watch list untouched. The clause must currently be attached; propagation
+// keeps its watched literals in slots 0 and 1, so those two lists are the
+// only ones to scan. Inprocessing uses this to replace one clause without
+// the wholesale rebuild reduceDB does.
+func (s *Solver) detach(c clauseRef) {
+	lits := s.ca.lits(c)
+	s.removeWatch(lits[0], c)
+	s.removeWatch(lits[1], c)
+}
+
+func (s *Solver) removeWatch(l cnf.Lit, c clauseRef) {
+	ws := s.watches[l]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
 // rebuildWatches drops every watch list and re-attaches all clauses.
 // Database management removes and shrinks clauses, so the paper's
 // BerkMin "partially or completely recomputes" its data structures after a

@@ -1,4 +1,4 @@
-package drup
+package drup_test
 
 import (
 	"bytes"
@@ -8,11 +8,12 @@ import (
 
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
+	"berkmin/internal/drup"
 	"berkmin/internal/gen"
 )
 
 func TestParseProof(t *testing.T) {
-	steps, err := ParseProof(strings.NewReader("1 2 0\nd 1 2 0\n0\n"))
+	steps, err := drup.ParseProof(strings.NewReader("1 2 0\nd 1 2 0\n0\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestParseProof(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, in := range []string{"1 2\n", "x 0\n"} {
-		if _, err := ParseProof(strings.NewReader(in)); err == nil {
+		if _, err := drup.ParseProof(strings.NewReader(in)); err == nil {
 			t.Errorf("expected parse error for %q", in)
 		}
 	}
@@ -40,7 +41,7 @@ func TestCheckTrivialProof(t *testing.T) {
 	f := cnf.New(1)
 	f.AddClause(1)
 	f.AddClause(-1)
-	res, err := Check(f, strings.NewReader("0\n"))
+	res, err := drup.Check(f, strings.NewReader("0\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestCheckRejectsBogusStep(t *testing.T) {
 	f := cnf.New(2)
 	f.AddClause(1, 2)
 	// Claiming unit 1 is not RUP here.
-	if _, err := Check(f, strings.NewReader("1 0\n0\n")); err == nil {
+	if _, err := drup.Check(f, strings.NewReader("1 0\n0\n")); err == nil {
 		t.Fatal("bogus proof accepted")
 	}
 }
@@ -63,7 +64,7 @@ func TestCheckRejectsIncompleteProof(t *testing.T) {
 	f.AddClause(1)
 	f.AddClause(-1, 2)
 	// Valid RUP addition but no empty clause.
-	if _, err := Check(f, strings.NewReader("2 0\n")); err == nil {
+	if _, err := drup.Check(f, strings.NewReader("2 0\n")); err == nil {
 		t.Fatal("incomplete proof accepted")
 	}
 }
@@ -72,7 +73,7 @@ func TestUnknownDeletionTolerated(t *testing.T) {
 	f := cnf.New(1)
 	f.AddClause(1)
 	f.AddClause(-1)
-	res, err := Check(f, strings.NewReader("d 5 6 0\n0\n"))
+	res, err := drup.Check(f, strings.NewReader("d 5 6 0\n0\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestSolverProofsPigeonhole(t *testing.T) {
 		if status != core.StatusUnsat {
 			t.Fatalf("hole%d: %v", n, status)
 		}
-		res, err := Check(inst.Formula, proof)
+		res, err := drup.Check(inst.Formula, proof)
 		if err != nil {
 			t.Fatalf("hole%d proof rejected: %v", n, err)
 		}
@@ -115,7 +116,7 @@ func TestSolverProofsMiter(t *testing.T) {
 	if status != core.StatusUnsat {
 		t.Fatalf("miter: %v", status)
 	}
-	if _, err := Check(inst.Formula, proof); err != nil {
+	if _, err := drup.Check(inst.Formula, proof); err != nil {
 		t.Fatalf("miter proof rejected: %v", err)
 	}
 }
@@ -126,7 +127,7 @@ func TestSolverProofsAdderMiter(t *testing.T) {
 	if status != core.StatusUnsat {
 		t.Fatalf("adder: %v", status)
 	}
-	if _, err := Check(inst.Formula, proof); err != nil {
+	if _, err := drup.Check(inst.Formula, proof); err != nil {
 		t.Fatalf("adder proof rejected: %v", err)
 	}
 }
@@ -137,7 +138,7 @@ func TestSolverProofsDinphil(t *testing.T) {
 	if status != core.StatusUnsat {
 		t.Fatalf("dinphil: %v", status)
 	}
-	if _, err := Check(inst.Formula, proof); err != nil {
+	if _, err := drup.Check(inst.Formula, proof); err != nil {
 		t.Fatalf("dinphil proof rejected: %v", err)
 	}
 }
@@ -157,7 +158,7 @@ func TestSolverProofsAllConfigs(t *testing.T) {
 		if status != core.StatusUnsat {
 			t.Fatalf("%s: %v", name, status)
 		}
-		if _, err := Check(inst.Formula, proof); err != nil {
+		if _, err := drup.Check(inst.Formula, proof); err != nil {
 			t.Fatalf("%s proof rejected: %v", name, err)
 		}
 	}
@@ -185,7 +186,7 @@ func TestSolverProofsRandomUnsat(t *testing.T) {
 			continue
 		}
 		checked++
-		if _, err := Check(f, proof); err != nil {
+		if _, err := drup.Check(f, proof); err != nil {
 			t.Fatalf("iter %d: proof rejected: %v", iter, err)
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
+	"berkmin/internal/simplify"
 )
 
 // DefaultShareMaxLen is the default length cap for exchanged learnt
@@ -44,6 +45,10 @@ type Options struct {
 	// Configs overrides the default diversification; when set, its length
 	// determines the number of jobs and Jobs is ignored.
 	Configs []Config
+	// Simplify, when non-nil, preprocesses the formula once up front
+	// (package simplify); every member then races on the simplified form
+	// and the winning model is mapped back to the original variables.
+	Simplify *simplify.Options
 }
 
 // JobRun is the outcome of one portfolio member.
@@ -92,6 +97,7 @@ func Variants(n int, baseSeed uint64) []Config {
 		{"berkmin-rand", core.BranchOptions(core.PolarityTakeRand)},
 		{"chaff-phase", chaffPhaseOptions()},
 		{"berkmin-geo", geometricOptions()},
+		{"berkmin-inp", core.InprocessingOptions()},
 	}
 	out := make([]Config, 0, n)
 	for i := 0; i < n; i++ {
@@ -184,6 +190,24 @@ func (h *hub) publish(from int, lits []cnf.Lit) {
 // Solve runs the portfolio to the first definitive answer. All members are
 // always waited for before returning, so no goroutine outlives the call.
 func Solve(f *cnf.Formula, opt Options) Result {
+	orig := f
+	var simplified *simplify.Outcome
+	var preSpent time.Duration
+	if opt.Simplify != nil {
+		// Bound preprocessing by the same wall-clock budget as the members
+		// and deduct what it uses, so MaxTime stays an end-to-end limit
+		// for the whole call; the time spent is charged to the returned
+		// Runtime like the sequential front-end does.
+		simplified, preSpent, opt.MaxTime = simplify.Run(f, *opt.Simplify, opt.MaxTime, nil)
+		if simplified.Unsat {
+			// Preprocessing alone refuted the formula; no race needed.
+			return Result{
+				Result: core.Result{Status: core.StatusUnsat, Stats: core.Stats{Runtime: preSpent}},
+				Winner: "simplify",
+			}
+		}
+		f = simplified.Formula
+	}
 	cfgs := opt.Configs
 	if len(cfgs) == 0 {
 		jobs := opt.Jobs
@@ -253,10 +277,17 @@ func Solve(f *cnf.Formula, opt Options) Result {
 
 	if winner >= 0 {
 		win := runs[winner].Result
-		if win.Status == core.StatusSat && !cnf.Assignment(win.Model).Satisfies(f) {
-			// A wrong model here would mean unsound clause sharing; fail
-			// loudly rather than hand back a bad witness.
-			panic("portfolio: internal error: winning model does not satisfy the formula")
+		win.Stats.Runtime += preSpent
+		if win.Status == core.StatusSat {
+			if simplified != nil {
+				win.Model = simplified.Extend(win.Model)
+			}
+			if !cnf.Assignment(win.Model).Satisfies(orig) {
+				// A wrong model here would mean unsound clause sharing or
+				// broken model reconstruction; fail loudly rather than
+				// hand back a bad witness.
+				panic("portfolio: internal error: winning model does not satisfy the formula")
+			}
 		}
 		return Result{Result: win, Winner: cfgs[winner].Name, Jobs: runs}
 	}
@@ -269,5 +300,6 @@ func Solve(f *cnf.Formula, opt Options) Result {
 			break
 		}
 	}
+	rep.Stats.Runtime += preSpent
 	return Result{Result: rep, Jobs: runs}
 }

@@ -1,0 +1,72 @@
+package simplify
+
+import (
+	"bytes"
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+	"berkmin/internal/drup"
+)
+
+// FuzzSimplifyDifferential decodes arbitrary bytes into a small CNF (the
+// same encoding as core.FuzzSolveAgainstDPLL) and checks the whole
+// simplification pipeline differentially: preprocess + solve must agree
+// with the brute-force oracle, SAT models must reconstruct onto the
+// original formula, and UNSAT traces must verify as DRUP proofs.
+func FuzzSimplifyDifferential(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x40, 0x23, 0x05, 0x60})
+	f.Add([]byte{0x01, 0x40, 0x11, 0x40})
+	f.Add([]byte{0x21, 0x33, 0x40, 0x31, 0x23, 0x40, 0x11, 0x60})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		formula := cnf.New(8)
+		var cur cnf.Clause
+		for _, b := range data {
+			v := cnf.Var(int(b&0x0F)%8 + 1)
+			cur = append(cur, cnf.MkLit(v, b&0x10 != 0))
+			if b&0x60 != 0 {
+				formula.Add(cur)
+				cur = nil
+			}
+		}
+		if len(cur) > 0 {
+			formula.Add(cur)
+		}
+		want := dpll.Solve(formula).Sat
+
+		var proof bytes.Buffer
+		opt := DefaultOptions()
+		opt.Proof = &proof
+		o := Simplify(formula, opt)
+		var status core.Status
+		var model []bool
+		if o.Unsat {
+			status = core.StatusUnsat
+		} else {
+			s := core.New(core.DefaultOptions())
+			s.SetProofWriter(&proof)
+			s.AddFormula(o.Formula)
+			r := s.Solve()
+			status, model = r.Status, r.Model
+		}
+		if (status == core.StatusSat) != want {
+			t.Fatalf("pipeline %v, dpll sat=%v, clauses %v", status, want, formula.Clauses)
+		}
+		if status == core.StatusSat {
+			if !cnf.Assignment(o.Extend(model)).Satisfies(formula) {
+				t.Fatalf("bad reconstructed model for %v", formula.Clauses)
+			}
+			return
+		}
+		res, err := drup.Check(formula, &proof)
+		if err != nil || !res.EmptyDerived {
+			t.Fatalf("proof invalid (err=%v, empty=%v) for %v\n%s",
+				err, res.EmptyDerived, formula.Clauses, proof.String())
+		}
+	})
+}

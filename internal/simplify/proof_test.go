@@ -1,0 +1,221 @@
+package simplify
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/dpll"
+	"berkmin/internal/drup"
+)
+
+// TestProofPreprocessingAloneRefutes: when preprocessing derives UNSAT by
+// itself, its trace must be a complete DRUP refutation of the original.
+func TestProofPreprocessingAloneRefutes(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, -1)
+	var proof bytes.Buffer
+	opt := DefaultOptions()
+	opt.Proof = &proof
+	o := Simplify(f, opt)
+	if !o.Unsat {
+		t.Fatalf("expected UNSAT from preprocessing alone; formula %v", o.Formula.Clauses)
+	}
+	res, err := drup.Check(f, &proof)
+	if err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+	if !res.EmptyDerived {
+		t.Fatal("empty clause not derived")
+	}
+}
+
+// TestProofPreprocessThenSolve pipes preprocessing and the CDCL engine
+// into ONE trace: the simplifier's additions/deletions followed by the
+// solver's learnt clauses must verify against the ORIGINAL formula.
+func TestProofPreprocessThenSolve(t *testing.T) {
+	// Pigeonhole with an extra chain of implications so unit propagation,
+	// strengthening and elimination all fire before search.
+	b := cnf.NewBuilder()
+	p := make([][]cnf.Var, 5)
+	for i := range p {
+		p[i] = b.FreshN(4)
+	}
+	for i := 0; i < 5; i++ {
+		lits := make([]cnf.Lit, 4)
+		for j := 0; j < 4; j++ {
+			lits[j] = cnf.PosLit(p[i][j])
+		}
+		b.Clause(lits...)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 5; i++ {
+			for k := i + 1; k < 5; k++ {
+				b.Clause(cnf.NegLit(p[i][j]), cnf.NegLit(p[k][j]))
+			}
+		}
+	}
+	f := b.Formula()
+
+	var proof bytes.Buffer
+	opt := DefaultOptions()
+	opt.Proof = &proof
+	o := Simplify(f, opt)
+	if !o.Unsat {
+		s := core.New(core.DefaultOptions())
+		s.SetProofWriter(&proof)
+		s.AddFormula(o.Formula)
+		if r := s.Solve(); r.Status != core.StatusUnsat {
+			t.Fatalf("status = %v, want UNSAT", r.Status)
+		}
+	}
+	res, err := drup.Check(f, &proof)
+	if err != nil {
+		t.Fatalf("combined proof rejected: %v", err)
+	}
+	if !res.EmptyDerived {
+		t.Fatal("empty clause not derived")
+	}
+	if res.UnknownDeletions != 0 {
+		t.Fatalf("%d deletion lines did not match a live clause", res.UnknownDeletions)
+	}
+}
+
+// TestProofRandomUnsat fuzzes the combined preprocess+solve trace over
+// random formulas: every UNSAT verdict must come with a verifying DRUP
+// proof, and SAT verdicts must reconstruct to a model of the original.
+func TestProofRandomUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	optSets := []Options{
+		DefaultOptions(),
+		{Subsume: true, MaxRounds: 3, MaxOccurrences: 16},
+		{EliminateVars: true, MaxRounds: 3, MaxOccurrences: 16},
+		{Subsume: true, EliminateVars: true, MaxGrowth: 4, MaxOccurrences: 30, MaxRounds: 8},
+	}
+	checked := 0
+	for iter := 0; iter < 250; iter++ {
+		n := 3 + rng.Intn(7)
+		m := 4 + rng.Intn(6*n)
+		f := cnf.New(n)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(n))
+				c = append(c, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			f.Add(c)
+		}
+		want := dpll.BruteForce(f).Sat
+
+		var proof bytes.Buffer
+		opt := optSets[iter%len(optSets)]
+		opt.Proof = &proof
+		o := Simplify(f, opt)
+		var status core.Status
+		var model []bool
+		if o.Unsat {
+			status = core.StatusUnsat
+		} else {
+			s := core.New(core.DefaultOptions())
+			s.SetProofWriter(&proof)
+			s.AddFormula(o.Formula)
+			r := s.Solve()
+			status, model = r.Status, r.Model
+		}
+		if (status == core.StatusSat) != want {
+			t.Fatalf("iter %d: verdict %v, oracle sat=%v\n%v", iter, status, want, f.Clauses)
+		}
+		if status == core.StatusSat {
+			if !cnf.Assignment(o.Extend(model)).Satisfies(f) {
+				t.Fatalf("iter %d: reconstruction failed\n%v", iter, f.Clauses)
+			}
+			continue
+		}
+		res, err := drup.Check(f, &proof)
+		if err != nil {
+			t.Fatalf("iter %d: proof rejected: %v\nformula: %v\nproof:\n%s",
+				iter, err, f.Clauses, proof.String())
+		}
+		if !res.EmptyDerived {
+			t.Fatalf("iter %d: empty clause not derived", iter)
+		}
+		if res.UnknownDeletions != 0 {
+			t.Fatalf("iter %d: %d unknown deletions\nformula: %v\nproof:\n%s",
+				iter, res.UnknownDeletions, f.Clauses, proof.String())
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no UNSAT instance was generated; the proof fuzz is vacuous")
+	}
+}
+
+// TestBudgetStopsSimplification: an expired deadline or a firing Stop hook
+// must cut simplification short at a pass boundary, leaving an
+// equisatisfiable (merely less simplified) outcome.
+func TestBudgetStopsSimplification(t *testing.T) {
+	// Random 3-SAT with a planted solution (variable v is true iff v is
+	// even), so the formula is guaranteed satisfiable.
+	f := cnf.New(0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		var c cnf.Clause
+		for k := 0; k < 3; k++ {
+			v := cnf.Var(1 + rng.Intn(200))
+			neg := rng.Intn(2) == 0
+			if k == 2 {
+				neg = v%2 != 0 // satisfied by the planted assignment
+			}
+			c = append(c, cnf.MkLit(v, neg))
+		}
+		f.Add(c)
+	}
+	for _, opt := range []Options{
+		func() Options { o := DefaultOptions(); o.Deadline = time.Now().Add(-time.Second); return o }(),
+		func() Options { o := DefaultOptions(); o.Stop = func() bool { return true }; return o }(),
+	} {
+		o := Simplify(f, opt)
+		if o.Unsat {
+			t.Fatal("budget-stopped preprocessing refuted a formula it barely touched")
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(o.Formula)
+		r := s.Solve()
+		if r.Status != core.StatusSat {
+			t.Fatalf("status = %v", r.Status)
+		}
+		if !cnf.Assignment(o.Extend(r.Model)).Satisfies(f) {
+			t.Fatal("budget-stopped outcome broke model reconstruction")
+		}
+	}
+}
+
+// TestRunComposesStopAndBudget: the Run front-end helper must honor an
+// external stop hook even when the caller supplied their own, and must
+// return a clamped remaining budget.
+func TestRunComposesStopAndBudget(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	userCalled := false
+	opt := DefaultOptions()
+	opt.Stop = func() bool { userCalled = true; return false }
+	o, elapsed, remaining := Run(f, opt, time.Second, func() bool { return true })
+	if o == nil || o.Unsat {
+		t.Fatalf("outcome %+v", o)
+	}
+	_ = userCalled // the user hook stays wired; rate-limited polling may or may not reach it here
+	if elapsed < 0 || remaining <= 0 || remaining > time.Second {
+		t.Fatalf("elapsed=%v remaining=%v", elapsed, remaining)
+	}
+	// Unlimited budget passes through untouched.
+	if _, _, rem := Run(f, DefaultOptions(), 0, nil); rem != 0 {
+		t.Fatalf("unlimited budget rewritten to %v", rem)
+	}
+}

@@ -12,9 +12,12 @@
 package simplify
 
 import (
+	"io"
 	"sort"
+	"time"
 
 	"berkmin/internal/cnf"
+	"berkmin/internal/drup"
 )
 
 // Options bounds the preprocessing effort.
@@ -31,6 +34,32 @@ type Options struct {
 	MaxOccurrences int
 	// MaxRounds bounds the simplification fixpoint loop (0 = default 5).
 	MaxRounds int
+	// MaxSubsumeOcc bounds the occurrence-list length scanned per
+	// candidate during subsumption and strengthening, keeping a pass
+	// near-linear even when huge formulas share literals across most
+	// clauses (0 = default 1000).
+	MaxSubsumeOcc int
+	// Deadline, when non-zero, stops simplification at the next pass
+	// boundary once the wall clock passes it. Stop, when non-nil, is
+	// polled periodically and stops simplification when it returns true
+	// (the solver front-end wires it to Interrupt). Either way the
+	// partially simplified outcome is equisatisfiable and fully usable —
+	// simplification is cut short, never corrupted.
+	Deadline time.Time
+	Stop     func() bool
+	// Proof, when non-nil, receives a DRUP trace of every simplification
+	// step: derived units, strengthened clauses and resolvents as
+	// additions; subsumed, strengthened and satisfied clauses as
+	// deletions. Every addition is a unit consequence or a resolvent of
+	// live clauses, so the trace — followed by a solver's proof for the
+	// simplified formula — verifies against the ORIGINAL formula with
+	// package drup. Two deliberate asymmetries keep that guarantee under
+	// variable elimination: pure literals are handled as clause removals
+	// (never fixed as units, which would not be RUP), and
+	// eliminated-variable clauses get no deletion lines at all, so that
+	// Restore can hand them back to the solver under incremental use
+	// without the checker having forgotten them.
+	Proof io.Writer
 }
 
 // DefaultOptions enables everything with conservative bounds.
@@ -43,6 +72,11 @@ func DefaultOptions() Options {
 type Elim struct {
 	V       cnf.Var
 	Clauses []cnf.Clause
+
+	// restored marks an elimination reverted by Outcome.Restore: the
+	// variable is constrained again in the solver, so Extend must not
+	// overwrite its model value.
+	restored bool
 }
 
 // Outcome is the preprocessing result.
@@ -71,14 +105,6 @@ type workClause struct {
 	deleted bool
 }
 
-func signature(lits []cnf.Lit) uint64 {
-	var s uint64
-	for _, l := range lits {
-		s |= 1 << (uint(l) % 64)
-	}
-	return s
-}
-
 type simplifier struct {
 	opt     Options
 	nVars   int
@@ -87,6 +113,98 @@ type simplifier struct {
 	assign  []int8          // 0 undef, 1 true, -1 false
 	queue   []cnf.Lit
 	out     *Outcome
+	proof   io.Writer // optional DRUP trace (Options.Proof)
+
+	// contradiction is set when strengthening derives the empty clause
+	// (resolving two contradictory unit clauses); the fixpoint loop stops
+	// and reports UNSAT.
+	contradiction bool
+
+	// Budget state: aborted is set once the deadline passes or Stop fires;
+	// polls rate-limits the wall-clock reads.
+	aborted bool
+	polls   uint
+
+	lineBuf []byte // reusable DRUP line buffer (drup.AppendLine)
+}
+
+// outOfBudget polls the configured deadline/stop hook (rate-limited: the
+// wall clock is read every 2048th call). Once it fires, every pass winds
+// down at its next boundary and the current state is emitted as-is.
+func (s *simplifier) outOfBudget() bool {
+	if s.aborted {
+		return true
+	}
+	if s.polls++; s.polls&0x7FF != 0 {
+		return false
+	}
+	if s.opt.Stop != nil && s.opt.Stop() {
+		s.aborted = true
+	} else if !s.opt.Deadline.IsZero() && time.Now().After(s.opt.Deadline) {
+		s.aborted = true
+	}
+	return s.aborted
+}
+
+// proofAdd logs a derived clause (via the emitter shared with the core
+// engine, drup.WriteLine). Callers guarantee it is RUP against the
+// current database: a unit reached by propagation, or a resolvent of two
+// live clauses (assuming a resolvent false unit-propagates one parent into
+// the pivot and the other into a conflict).
+func (s *simplifier) proofAdd(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.lineBuf = drup.AppendLine(s.lineBuf, false, lits)
+		s.proof.Write(s.lineBuf)
+	}
+}
+
+// proofDelete logs a clause removal, always in the clause's physical
+// (stored) form — the form the checker's database holds.
+func (s *simplifier) proofDelete(lits []cnf.Lit) {
+	if s.proof != nil {
+		s.lineBuf = drup.AppendLine(s.lineBuf, true, lits)
+		s.proof.Write(s.lineBuf)
+	}
+}
+
+// proofEmpty completes an UNSAT trace.
+func (s *simplifier) proofEmpty() {
+	if s.proof != nil {
+		s.lineBuf = drup.AppendLine(s.lineBuf, false, nil)
+		s.proof.Write(s.lineBuf)
+	}
+}
+
+// Run executes Simplify under an end-to-end wall-clock budget — the one
+// shared implementation of "bound preprocessing, deduct what it used" for
+// every front-end (berkmin.Solver, the portfolio, the bench harness).
+// When budget > 0, a deadline is installed (unless the caller set one)
+// and the remaining budget is returned with the elapsed time deducted,
+// clamped to 1ms so the follow-on search still times out promptly rather
+// than running unbounded. A budget of 0 means unlimited and is returned
+// unchanged. stop, when non-nil, is OR-composed with any caller-supplied
+// Options.Stop (so a solver Interrupt always cancels preprocessing).
+func Run(f *cnf.Formula, opt Options, budget time.Duration, stop func() bool) (o *Outcome, elapsed, remaining time.Duration) {
+	start := time.Now()
+	if opt.Deadline.IsZero() && budget > 0 {
+		opt.Deadline = start.Add(budget)
+	}
+	if stop != nil {
+		if user := opt.Stop; user != nil {
+			opt.Stop = func() bool { return user() || stop() }
+		} else {
+			opt.Stop = stop
+		}
+	}
+	o = Simplify(f, opt)
+	elapsed = time.Since(start)
+	remaining = budget
+	if budget > 0 {
+		if remaining = budget - elapsed; remaining < time.Millisecond {
+			remaining = time.Millisecond
+		}
+	}
+	return o, elapsed, remaining
 }
 
 // Simplify preprocesses the formula. The input is not modified.
@@ -97,12 +215,16 @@ func Simplify(f *cnf.Formula, opt Options) *Outcome {
 	if opt.MaxRounds <= 0 {
 		opt.MaxRounds = 5
 	}
+	if opt.MaxSubsumeOcc <= 0 {
+		opt.MaxSubsumeOcc = 1000
+	}
 	s := &simplifier{
 		opt:    opt,
 		nVars:  f.NumVars,
 		occ:    make([][]*workClause, 2*f.NumVars+2),
 		assign: make([]int8, f.NumVars+1),
 		out:    &Outcome{},
+		proof:  opt.Proof,
 	}
 	for _, c := range f.Clauses {
 		norm, taut := c.Clone().Normalize()
@@ -111,10 +233,7 @@ func Simplify(f *cnf.Formula, opt Options) *Outcome {
 			continue
 		}
 		if len(norm) == 0 {
-			s.out.Unsat = true
-			s.out.Formula = cnf.New(f.NumVars)
-			s.out.Formula.Add(cnf.Clause{})
-			return s.out
+			return s.finishUnsat(f.NumVars)
 		}
 		if len(norm) == 1 {
 			s.queue = append(s.queue, norm[0])
@@ -125,17 +244,17 @@ func Simplify(f *cnf.Formula, opt Options) *Outcome {
 	if !s.propagate() {
 		return s.finishUnsat(f.NumVars)
 	}
-	for round := 0; round < opt.MaxRounds; round++ {
+	for round := 0; round < opt.MaxRounds && !s.aborted; round++ {
 		changed := false
 		if opt.Subsume {
 			changed = s.subsumptionPass() || changed
-			if !s.propagate() {
+			if s.contradiction || !s.propagate() {
 				return s.finishUnsat(f.NumVars)
 			}
 		}
 		if opt.EliminateVars {
 			changed = s.eliminationPass() || changed
-			if !s.propagate() {
+			if s.contradiction || !s.propagate() {
 				return s.finishUnsat(f.NumVars)
 			}
 		}
@@ -151,7 +270,10 @@ func Simplify(f *cnf.Formula, opt Options) *Outcome {
 		}
 		kept := s.currentLits(c)
 		if kept == nil {
-			continue // satisfied
+			// Satisfied by a fixed assignment whose unit is already in the
+			// trace, so the deletion is safe for the checker.
+			s.proofDelete(c.lits)
+			continue
 		}
 		out.Add(kept)
 	}
@@ -173,11 +295,15 @@ func (s *simplifier) finishUnsat(nVars int) *Outcome {
 	s.out.Unsat = true
 	s.out.Formula = cnf.New(nVars)
 	s.out.Formula.Add(cnf.Clause{})
+	// The conflict was reached by unit propagation over the database plus
+	// the units already in the trace, so the empty clause is RUP and the
+	// trace is a complete refutation on its own.
+	s.proofEmpty()
 	return s.out
 }
 
 func (s *simplifier) addClause(lits []cnf.Lit) *workClause {
-	c := &workClause{lits: lits, sig: signature(lits)}
+	c := &workClause{lits: lits, sig: cnf.Clause(lits).Signature()}
 	s.clauses = append(s.clauses, c)
 	for _, l := range lits {
 		s.occ[l] = append(s.occ[l], c)
@@ -225,6 +351,11 @@ func (s *simplifier) propagate() bool {
 			s.assign[l.Var()] = 1
 		}
 		s.out.PropagatedUnits++
+		// Every fixed literal enters the trace as a unit. Each is RUP when
+		// logged: it was queued from an input unit, a clause made unit by
+		// previously-logged units, a strengthened clause already in the
+		// trace, or an elimination resolvent already in the trace.
+		s.proofAdd([]cnf.Lit{l})
 		// Clauses containing ¬l may become unit.
 		for _, c := range s.occ[l.Not()] {
 			if c.deleted {
@@ -261,6 +392,9 @@ func (s *simplifier) subsumptionPass() bool {
 		if c.deleted {
 			continue
 		}
+		if s.outOfBudget() {
+			return changed
+		}
 		// Find the literal with the fewest occurrences to scan candidates.
 		best := c.lits[0]
 		for _, l := range c.lits[1:] {
@@ -268,23 +402,29 @@ func (s *simplifier) subsumptionPass() bool {
 				best = l
 			}
 		}
-		for _, d := range s.occ[best] {
-			if d == c || d.deleted || len(d.lits) < len(c.lits) {
-				continue
-			}
-			if c.sig&^d.sig != 0 {
-				continue // fast reject
-			}
-			if containsAll(d.lits, c.lits) {
-				d.deleted = true
-				s.out.RemovedSubsumed++
-				changed = true
+		if len(s.occ[best]) <= s.opt.MaxSubsumeOcc {
+			for _, d := range s.occ[best] {
+				if d == c || d.deleted || len(d.lits) < len(c.lits) {
+					continue
+				}
+				if c.sig&^d.sig != 0 {
+					continue // fast reject
+				}
+				if cnf.Clause(d.lits).ContainsAll(c.lits) {
+					d.deleted = true
+					s.proofDelete(d.lits)
+					s.out.RemovedSubsumed++
+					changed = true
+				}
 			}
 		}
 		// Self-subsuming resolution: c = (l ∨ A); any d ⊇ A ∪ {¬l} can
 		// drop ¬l.
 		for _, l := range c.lits {
 			neg := l.Not()
+			if len(s.occ[neg]) > s.opt.MaxSubsumeOcc {
+				continue
+			}
 			negSig := c.sig &^ (1 << (uint(l) % 64))
 			negSig |= 1 << (uint(neg) % 64)
 			for _, d := range s.occ[neg] {
@@ -294,11 +434,28 @@ func (s *simplifier) subsumptionPass() bool {
 				if negSig&^d.sig != 0 {
 					continue
 				}
-				if subsumesExcept(c.lits, d.lits, l, neg) {
+				if cnf.SubsumesExcept(c.lits, d.lits, l, neg) {
+					var old []cnf.Lit
+					if s.proof != nil {
+						old = append([]cnf.Lit(nil), d.lits...)
+					}
 					s.strengthen(d, neg)
+					// The strengthened clause is the resolvent of c and the
+					// old d: add it (RUP while old d is live), then retire
+					// the old form.
+					s.proofAdd(d.lits)
+					s.proofDelete(old)
 					s.out.StrengthenedLits++
 					changed = true
-					if len(d.lits) == 1 {
+					switch len(d.lits) {
+					case 0:
+						// c and d were the contradictory units (x) and
+						// (¬x): the resolvent just logged is the empty
+						// clause — the formula is refuted.
+						d.deleted = true
+						s.contradiction = true
+						return true
+					case 1:
 						s.queue = append(s.queue, d.lits[0])
 					}
 				}
@@ -306,46 +463,6 @@ func (s *simplifier) subsumptionPass() bool {
 		}
 	}
 	return changed
-}
-
-// containsAll reports whether sup contains every literal of sub (both
-// sorted ascending by Normalize's ordering is NOT guaranteed here, so use
-// a linear scan with the small sizes typical of clauses).
-func containsAll(sup, sub []cnf.Lit) bool {
-	for _, l := range sub {
-		found := false
-		for _, m := range sup {
-			if m == l {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
-}
-
-// subsumesExcept reports whether (c \ {l}) ∪ {neg} ⊆ d.
-func subsumesExcept(c, d []cnf.Lit, l, neg cnf.Lit) bool {
-	for _, x := range c {
-		want := x
-		if x == l {
-			want = neg
-		}
-		found := false
-		for _, m := range d {
-			if m == want {
-				found = true
-				break
-			}
-		}
-		if !found {
-			return false
-		}
-	}
-	return true
 }
 
 // strengthen removes the literal from the clause (occurrence lists keep a
@@ -358,7 +475,7 @@ func (s *simplifier) strengthen(c *workClause, l cnf.Lit) {
 		}
 	}
 	c.lits = out
-	c.sig = signature(out)
+	c.sig = cnf.Clause(out).Signature()
 }
 
 // eliminationPass applies bounded variable elimination. Returns whether
@@ -366,6 +483,19 @@ func (s *simplifier) strengthen(c *workClause, l cnf.Lit) {
 func (s *simplifier) eliminationPass() bool {
 	changed := false
 	for v := cnf.Var(1); int(v) <= s.nVars; v++ {
+		if s.outOfBudget() {
+			return changed
+		}
+		// Drain pending units first: a unit resolvent queued by an earlier
+		// elimination in this same pass may constrain v (resolving (x v)
+		// with (¬x v) yields the unit (v)). Eliminating a variable the
+		// queue is about to fix would leave it both eliminated and
+		// constrained, and Extend would overwrite its forced value —
+		// producing a non-model of the original formula.
+		if len(s.queue) > 0 && !s.propagate() {
+			s.contradiction = true
+			return true
+		}
 		if s.assign[v] != 0 {
 			continue
 		}
@@ -375,9 +505,27 @@ func (s *simplifier) eliminationPass() bool {
 			continue
 		}
 		if len(pos) == 0 || len(neg) == 0 {
-			// Pure literal: queue it; the caller's propagation applies it
-			// (a pure literal can never conflict on its own).
-			s.queue = append(s.queue, cnf.MkLit(v, len(pos) == 0))
+			// Pure literal: a degenerate variable elimination with zero
+			// resolvents. Dropping every clause containing the literal and
+			// letting Extend pick the satisfying value keeps the proof pure
+			// DRUP (fixing the literal as a unit would not be RUP — a pure
+			// literal is satisfiability-preserving, not implied).
+			occ := pos
+			if len(occ) == 0 {
+				occ = neg
+			}
+			elim := Elim{V: v}
+			for _, c := range occ {
+				if lits := s.currentLits(c); lits != nil {
+					elim.Clauses = append(elim.Clauses, lits)
+				}
+				// No deletion line: eliminated clauses may be Restored
+				// under incremental use, and a checker that kept them only
+				// finds RUP conflicts more easily.
+				c.deleted = true
+			}
+			s.out.Elims = append(s.out.Elims, elim)
+			s.out.EliminatedVars++
 			changed = true
 			continue
 		}
@@ -413,7 +561,15 @@ func (s *simplifier) eliminationPass() bool {
 		if !ok || len(resolvents) > len(pos)+len(neg)+s.opt.MaxGrowth {
 			continue
 		}
+		// Log every resolvent BEFORE the parent clauses leave the
+		// database: each is RUP only while its parents are live.
+		for _, r := range resolvents {
+			s.proofAdd(r)
+		}
 		// Record the original clauses for model reconstruction, then swap.
+		// As in the pure-literal case, no deletion lines: Restore may
+		// re-add these clauses to the solver under incremental use, and a
+		// clause a checker retains can never break a later RUP step.
 		elim := Elim{V: v}
 		for _, c := range append(append([]*workClause{}, pos...), neg...) {
 			lits := s.currentLits(c)
@@ -484,12 +640,16 @@ func resolve(a, b cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
 
 // Extend completes a model of the simplified formula into a model of the
 // original: eliminated variables are assigned, in reverse elimination
-// order, the value that satisfies all their original clauses.
+// order, the value that satisfies all their original clauses. Variables
+// whose elimination was reverted by Restore keep the solver's value.
 func (o *Outcome) Extend(model []bool) []bool {
 	out := make([]bool, len(model))
 	copy(out, model)
 	for i := len(o.Elims) - 1; i >= 0; i-- {
 		e := o.Elims[i]
+		if e.restored {
+			continue
+		}
 		// Default false; flip to true if some clause requires it.
 		out[e.V] = false
 		for _, c := range e.Clauses {
@@ -500,4 +660,22 @@ func (o *Outcome) Extend(model []bool) []bool {
 		}
 	}
 	return out
+}
+
+// Restore reverts the i-th elimination for incremental solving: when a
+// later clause or assumption mentions an eliminated variable, the caller
+// re-adds the returned original clauses to the solver (making the variable
+// a first-class constraint again) and Extend stops synthesizing a value
+// for it. The returned clauses may themselves mention variables eliminated
+// AFTER this one — the caller must restore those transitively, or the
+// reconstruction of those variables could falsify the re-added clauses.
+func (o *Outcome) Restore(i int) []cnf.Clause {
+	e := &o.Elims[i]
+	if e.restored {
+		return nil
+	}
+	e.restored = true
+	cs := e.Clauses
+	e.Clauses = nil
+	return cs
 }

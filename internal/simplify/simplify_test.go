@@ -104,20 +104,27 @@ func TestPureLiteralElimination(t *testing.T) {
 	f := cnf.New(3)
 	f.AddClause(1, 2)
 	f.AddClause(1, 3)
-	// x1 occurs only positively.
+	// x1 occurs only positively: its clauses are dropped as a
+	// zero-resolvent elimination (not fixed as a unit — a pure literal is
+	// satisfiability-preserving, not implied, so a unit would break DRUP).
 	o := Simplify(f, Options{EliminateVars: true, MaxOccurrences: 16, MaxRounds: 2})
 	if o.Unsat {
 		t.Fatal("pure-literal case declared unsat")
 	}
-	// All clauses satisfied by x1=1; formula reduces to the unit.
-	sawUnit := false
-	for _, u := range o.Units {
-		if u == cnf.PosLit(1) {
-			sawUnit = true
+	if o.EliminatedVars == 0 {
+		t.Fatal("pure literal not eliminated")
+	}
+	for _, c := range o.Formula.Clauses {
+		for _, l := range c {
+			if l.Var() == 1 {
+				t.Fatalf("variable 1 still occurs: %v", c)
+			}
 		}
 	}
-	if !sawUnit {
-		t.Fatalf("pure literal not fixed; units = %v", o.Units)
+	// Reconstruction must pick x1=1 to satisfy the dropped clauses.
+	full := o.Extend(make([]bool, f.NumVars+1))
+	if !cnf.Assignment(full).Satisfies(f) {
+		t.Fatal("reconstructed model does not satisfy the original")
 	}
 }
 

@@ -19,6 +19,12 @@ var DefaultSimplifyOptions = simplify.DefaultOptions
 // subsumption, self-subsuming resolution and bounded variable elimination
 // (an extension beyond the paper; BerkMin's own §8 level-0 simplification
 // is built into the solver). The input formula is not modified.
+//
+// This standalone entry point suits one-shot pipelines; Solver.SetSimplify
+// integrates the same machinery with the engine (deferred preprocessing,
+// automatic model reconstruction, DRUP proof continuity and restoration of
+// eliminated variables under incremental use), and SolveParallel's
+// Simplify option does the same for the portfolio.
 func Simplify(f *Formula, opt SimplifyOptions) *SimplifyOutcome {
 	return simplify.Simplify(f, opt)
 }
