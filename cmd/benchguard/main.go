@@ -1,18 +1,32 @@
-// Command benchguard gates CI on benchmark memory regressions. It parses
-// `go test -bench -benchmem` output, compares each benchmark's allocs/op
-// against a checked-in baseline, writes a machine-readable report, and
-// exits non-zero when any benchmark regresses by more than the allowed
-// margin (default 20%, plus a half-alloc absolute slack so a 0-alloc
-// baseline still tolerates measurement noise but not a real allocation).
+// Command benchguard gates CI on benchmark regressions. It parses
+// `go test -bench -benchmem` output, compares each benchmark against a
+// checked-in baseline, writes a machine-readable report, and exits
+// non-zero on a regression.
 //
-// ns/op and B/op are recorded in the report for trend inspection but are
-// not gated: CI runners have wildly varying clock speeds, while alloc
-// counts are deterministic for a deterministic solver.
+// Two gates run per benchmark:
+//
+//   - allocs/op (default margin 20%, plus a half-alloc absolute slack so a
+//     0-alloc baseline still tolerates measurement noise but not a real
+//     allocation). Alloc counts are deterministic for a deterministic
+//     solver, so this gate is exact across machines.
+//
+//   - ns/op (default margin 30%, -ns-margin 0 disables). Raw wall-clock is
+//     not comparable across machines — CI runners have wildly varying
+//     clock speeds — so the gate is speed-normalized: the median of
+//     measured/baseline ns ratios over all benchmarks estimates the
+//     machine-speed factor, and a benchmark fails only when its own ratio
+//     exceeds the median by more than the margin. A uniformly slower
+//     runner shifts every ratio equally and passes; one hot path getting
+//     slower than its peers is exactly what sticks out. (The blind spot —
+//     every benchmark regressing by the same factor at once — is covered
+//     by the alloc gate and by the ns trend recorded in the BENCH
+//     artifacts.) A small absolute slack keeps nanosecond-scale
+//     benchmarks from failing on scheduler jitter.
 //
 // Usage:
 //
 //	go test -bench 'Propagate|Solve' -benchmem -run '^$' ./... | tee bench.out
-//	benchguard -baseline .github/bench-baseline.json -out BENCH_2.json bench.out
+//	benchguard -baseline .github/bench-baseline.json -out BENCH_4.json bench.out
 //	benchguard -baseline .github/bench-baseline.json -update bench.out   # refresh baseline
 package main
 
@@ -36,8 +50,9 @@ type baseline struct {
 
 type baselineEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	// NsPerOp is informational only (recorded at baseline-update time on
-	// whatever machine ran it); it is never gated.
+	// NsPerOp is recorded at baseline-update time on whatever machine ran
+	// it; the ns gate compares against it only after normalizing out the
+	// current machine's overall speed factor.
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
 }
 
@@ -51,16 +66,26 @@ type measurement struct {
 type verdict struct {
 	measurement
 	BaselineAllocs *float64 `json:"baseline_allocs_per_op,omitempty"`
-	Status         string   `json:"status"` // ok | regression | improved | new
+	BaselineNs     *float64 `json:"baseline_ns_per_op,omitempty"`
+	// NsRatioNormalized is measured/baseline ns divided by the run's
+	// median such ratio: ~1.0 means "kept pace with the other benchmarks
+	// on this machine", >1+margin fails the ns gate.
+	NsRatioNormalized float64 `json:"ns_ratio_normalized,omitempty"`
+	Status            string  `json:"status"` // ok | regression | ns-regression | improved | new
 }
 
 type report struct {
-	Schema    string    `json:"schema"`
-	Go        string    `json:"go"`
-	MarginPct float64   `json:"margin_pct"`
-	Pass      bool      `json:"pass"`
-	Failures  []string  `json:"failures,omitempty"`
-	Results   []verdict `json:"results"`
+	Schema      string  `json:"schema"`
+	Go          string  `json:"go"`
+	MarginPct   float64 `json:"margin_pct"`
+	NsMarginPct float64 `json:"ns_margin_pct"`
+	// SpeedFactor is the median measured/baseline ns ratio — the estimated
+	// speed of this machine relative to the one that recorded the baseline
+	// (0 when the ns gate did not run).
+	SpeedFactor float64   `json:"speed_factor,omitempty"`
+	Pass        bool      `json:"pass"`
+	Failures    []string  `json:"failures,omitempty"`
+	Results     []verdict `json:"results"`
 }
 
 // benchLine matches one -benchmem result line, e.g.
@@ -80,6 +105,7 @@ func run() int {
 		baselinePath = flag.String("baseline", ".github/bench-baseline.json", "checked-in baseline file")
 		outPath      = flag.String("out", "", "write the comparison report (JSON) here")
 		margin       = flag.Float64("margin", 20, "allowed allocs/op regression, percent")
+		nsMargin     = flag.Float64("ns-margin", 30, "allowed ns/op regression beyond the run's median drift, percent (0 disables the speed gate)")
 		update       = flag.Bool("update", false, "rewrite the baseline from the measured values instead of gating")
 	)
 	flag.Parse()
@@ -104,19 +130,26 @@ func run() int {
 		return 2
 	}
 
-	rep := compare(base, measured, *margin)
+	rep := compare(base, measured, *margin, *nsMargin)
 	if *outPath != "" {
 		if err := writeJSON(*outPath, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "benchguard:", err)
 			return 2
 		}
 	}
+	if rep.SpeedFactor > 0 {
+		fmt.Printf("machine speed factor vs baseline: %.2f\n", rep.SpeedFactor)
+	}
 	for _, v := range rep.Results {
 		extra := ""
 		if v.BaselineAllocs != nil {
-			extra = fmt.Sprintf(" (baseline %.0f)", *v.BaselineAllocs)
+			extra = fmt.Sprintf(" (baseline %.0f allocs", *v.BaselineAllocs)
+			if v.NsRatioNormalized > 0 {
+				extra += fmt.Sprintf(", pace %.2fx", v.NsRatioNormalized)
+			}
+			extra += ")"
 		}
-		fmt.Printf("%-12s %-28s %12.0f ns/op %10.0f B/op %8.0f allocs/op%s\n",
+		fmt.Printf("%-13s %-28s %12.0f ns/op %10.0f B/op %8.0f allocs/op%s\n",
 			v.Status, v.Name, v.NsPerOp, v.BytesPerOp, v.AllocsPerOp, extra)
 	}
 	if !rep.Pass {
@@ -125,7 +158,7 @@ func run() int {
 		}
 		return 1
 	}
-	fmt.Println("benchguard: all benchmarks within the allocation budget")
+	fmt.Println("benchguard: all benchmarks within the allocation and speed budgets")
 	return 0
 }
 
@@ -185,8 +218,35 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func compare(base *baseline, measured map[string]measurement, marginPct float64) *report {
-	rep := &report{Schema: "berkmin-bench/1", Go: runtime.Version(), MarginPct: marginPct, Pass: true}
+// speedFactor estimates how fast this machine is relative to the one that
+// recorded the baseline: the median of per-benchmark measured/baseline
+// ns ratios. The median is robust to the thing being hunted — a few
+// benchmarks genuinely regressing — as long as most did not.
+func speedFactor(base *baseline, measured map[string]measurement) float64 {
+	var ratios []float64
+	for n, m := range measured {
+		if be, ok := base.Benchmarks[n]; ok && be.NsPerOp > 0 && m.NsPerOp > 0 {
+			ratios = append(ratios, m.NsPerOp/be.NsPerOp)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 0 {
+		return (ratios[mid-1] + ratios[mid]) / 2
+	}
+	return ratios[mid]
+}
+
+func compare(base *baseline, measured map[string]measurement, marginPct, nsMarginPct float64) *report {
+	rep := &report{Schema: "berkmin-bench/2", Go: runtime.Version(), MarginPct: marginPct, NsMarginPct: nsMarginPct, Pass: true}
+	norm := 0.0
+	if nsMarginPct > 0 {
+		norm = speedFactor(base, measured)
+		rep.SpeedFactor = norm
+	}
 	names := make([]string, 0, len(measured))
 	for n := range measured {
 		names = append(names, n)
@@ -213,6 +273,23 @@ func compare(base *baseline, measured map[string]measurement, marginPct float64)
 				v.Status = "improved"
 			default:
 				v.Status = "ok"
+			}
+			// Speed gate: normalized drift beyond the margin, with 20ns of
+			// absolute slack so nanosecond-scale benchmarks don't fail on
+			// scheduler jitter.
+			if norm > 0 && be.NsPerOp > 0 && m.NsPerOp > 0 {
+				bn := be.NsPerOp
+				v.BaselineNs = &bn
+				v.NsRatioNormalized = m.NsPerOp / (bn * norm)
+				if m.NsPerOp > bn*norm*(1+nsMarginPct/100)+20 {
+					if v.Status != "regression" {
+						v.Status = "ns-regression"
+					}
+					rep.Pass = false
+					rep.Failures = append(rep.Failures, fmt.Sprintf(
+						"%s: %.0f ns/op is %.2fx its baseline pace (machine speed factor %.2f, margin %.0f%%)",
+						n, m.NsPerOp, v.NsRatioNormalized, norm, nsMarginPct))
+				}
 			}
 		}
 		rep.Results = append(rep.Results, v)

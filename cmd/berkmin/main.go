@@ -21,6 +21,7 @@ import (
 
 	"berkmin"
 	"berkmin/internal/core"
+	"berkmin/internal/prof"
 )
 
 func main() {
@@ -69,8 +70,17 @@ func run() int {
 		minimize     = flag.Bool("minimize", false, "enable learnt-clause minimization (extension)")
 		preprocess   = flag.Bool("simplify", true, "preprocess before solving: unit propagation, subsumption, self-subsuming resolution, variable elimination (extension)")
 		inprocess    = flag.Bool("inprocess", false, "simplify the clause database during search at restart boundaries (subsumption, strengthening, vivification; extension)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live set) to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	opt, ok := configByName(*configName)
 	if !ok {
@@ -87,7 +97,6 @@ func run() int {
 	}
 
 	var f *berkmin.Formula
-	var err error
 	switch flag.NArg() {
 	case 0:
 		f, err = berkmin.ReadDimacs(bufio.NewReader(os.Stdin))

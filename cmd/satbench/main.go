@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"berkmin/internal/bench"
+	"berkmin/internal/prof"
 )
 
 func main() {
@@ -35,8 +36,17 @@ func run() int {
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock budget (0 = unlimited)")
 		preprocess   = flag.Bool("simplify", true, "preprocess each instance before solving (the simplify ablation controls this per row itself)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile (post-GC live set) to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	var sc bench.Scale
 	switch *scale {

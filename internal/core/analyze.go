@@ -26,21 +26,43 @@ func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 	idx := len(s.trail) - 1
 
 	for {
-		s.bumpResponsible(confl)
-		start := 0
-		if p != cnf.LitUndef {
-			start = 1 // skip the propagated literal itself
-		}
-		for _, q := range s.ca.lits(confl)[start:] {
-			v := q.Var()
-			if s.seen[v] || s.vlevel[v] == 0 {
-				continue
+		if confl == refBin {
+			// Binary antecedent (p ∨ q), literal-encoded: resolve on q
+			// directly, no arena load. Clause activity is not bumped —
+			// binary clauses are never deletion candidates (reduce.go), so
+			// their activity is dead weight — but the §4 sensitivity rule
+			// still bumps both variables.
+			q := s.binReason[p.Var()]
+			if s.opt.Sensitivity == SensitivityResponsible {
+				s.bumpVar(p.Var())
+				s.bumpVar(q.Var())
 			}
-			s.seen[v] = true
-			if s.vlevel[v] == level {
-				counter++
-			} else {
-				learnt = append(learnt, q)
+			v := q.Var()
+			if !s.seen[v] && s.vlevel[v] != 0 {
+				s.seen[v] = true
+				if s.vlevel[v] == level {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		} else {
+			s.bumpResponsible(confl)
+			start := 0
+			if p != cnf.LitUndef {
+				start = 1 // skip the propagated literal itself
+			}
+			for _, q := range s.ca.lits(confl)[start:] {
+				v := q.Var()
+				if s.seen[v] || s.vlevel[v] == 0 {
+					continue
+				}
+				s.seen[v] = true
+				if s.vlevel[v] == level {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
 			}
 		}
 		// Select the next current-level literal to expand, scanning the
@@ -135,11 +157,18 @@ func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 			continue
 		}
 		redundant := true
-		for _, x := range s.ca.lits(r)[1:] {
-			v := x.Var()
-			if !s.seen[v] && s.vlevel[v] != 0 {
-				redundant = false
-				break
+		if r == refBin {
+			// Literal-encoded binary antecedent: the only other literal is
+			// the implying one.
+			v := s.binReason[q.Var()].Var()
+			redundant = s.seen[v] || s.vlevel[v] == 0
+		} else {
+			for _, x := range s.ca.lits(r)[1:] {
+				v := x.Var()
+				if !s.seen[v] && s.vlevel[v] != 0 {
+					redundant = false
+					break
+				}
 			}
 		}
 		if !redundant {
@@ -176,5 +205,11 @@ func (s *Solver) record(learnt []cnf.Lit) {
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.notePeak()
-	s.enqueue(learnt[0], c)
+	if len(learnt) == 2 {
+		// Binary learnt clause: assert through the fast tier so the reason
+		// is literal-encoded like every other binary implication.
+		s.enqueueBin(learnt[0], learnt[1])
+	} else {
+		s.enqueue(learnt[0], c)
+	}
 }

@@ -30,10 +30,17 @@ import (
 
 // clauseRef addresses a clause: the index of its header word in
 // clauseArena.data. refUndef is the nil clause (no antecedent / no
-// conflict).
+// conflict). refBin marks a binary antecedent: the reason is not a stored
+// clause ref but the implying literal held in Solver.binReason (conflict
+// analysis resolves it without touching the arena). Both sentinels sit
+// above every ref alloc can produce: the arena is capped at maxArenaWords
+// and a clause carries at least clauseHdrWords+2 words after its header.
 type clauseRef uint32
 
-const refUndef clauseRef = ^clauseRef(0)
+const (
+	refUndef clauseRef = ^clauseRef(0)
+	refBin   clauseRef = ^clauseRef(0) - 1
+)
 
 const (
 	hdrLearnt   uint32 = 1 << 0 // conflict clause (lives on the learnt stack)
@@ -179,9 +186,10 @@ func (s *Solver) garbageCollect() {
 	}
 	// Antecedents of level-0 assignments are cleared before database
 	// management, so normally nothing remains to remap here; this pass
-	// keeps the invariant "no stale ref survives a GC" regardless.
+	// keeps the invariant "no stale ref survives a GC" regardless. Binary
+	// antecedents are literal-encoded (refBin), not refs — nothing to remap.
 	for v := range s.reason {
-		if r := s.reason[v]; r != refUndef {
+		if r := s.reason[v]; r != refUndef && r != refBin {
 			s.reason[v] = s.ca.relocate(r, &dst)
 		}
 	}

@@ -41,10 +41,16 @@ func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 			continue
 		}
 		s.seen[v] = false
-		if r := s.reason[v]; r == refUndef {
+		switch r := s.reason[v]; r {
+		case refUndef:
 			// An assumption (or decision standing in for one).
 			out = append(out, s.trail[i])
-		} else {
+		case refBin:
+			// Literal-encoded binary antecedent.
+			if q := s.binReason[v]; s.vlevel[q.Var()] > 0 {
+				s.seen[q.Var()] = true
+			}
+		default:
 			for _, q := range s.ca.lits(r)[1:] {
 				if s.vlevel[q.Var()] > 0 {
 					s.seen[q.Var()] = true

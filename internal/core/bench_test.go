@@ -103,6 +103,73 @@ func BenchmarkSolveInprocess(b *testing.B) {
 	}
 }
 
+// nbTwoBench builds the §7 decision-cost workload: a database where every
+// literal sits in a handful of binary clauses (what nb_two counts) and in
+// several 8-literal clauses (what the pre-specialization scan had to wade
+// through to find them). Nothing is assigned, so every partner walk runs
+// to completion.
+func nbTwoBench() *Solver {
+	s := New(DefaultOptions())
+	const n = 2000
+	for i := 1; i <= n; i++ {
+		s.AddClause(cnf.NewClause(i, i%n+1))
+		s.AddClause(cnf.NewClause(-i, (i+1)%n+1))
+	}
+	for i := 1; i <= n; i++ {
+		xs := make([]int, 8)
+		for k := range xs {
+			xs[k] = (i+k*37)%n + 1
+		}
+		s.AddClause(cnf.NewClause(xs...))
+	}
+	return s
+}
+
+// nbTwoBatch is the number of variables (two queries each) per benchmark
+// op in BenchmarkNbTwo/BenchmarkNbTwoScan. A single query sits at
+// nanosecond scale, where the benchguard speed gate's absolute jitter
+// slack would dwarf a real regression; batching moves the op to a scale
+// the gate can police. Divide ns/op by 2*nbTwoBatch for the per-query
+// cost.
+const nbTwoBatch = 64
+
+// BenchmarkNbTwo measures the binary-tier nb_two cost function: an O(1)
+// counter lookup plus one walk over binary-partner literals per query
+// (decide.go). Compare against BenchmarkNbTwoScan, the pre-specialization
+// implementation — the CI baseline tracks both so the gap is visible in
+// every BENCH report.
+func BenchmarkNbTwo(b *testing.B) {
+	s := nbTwoBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < nbTwoBatch; k++ {
+			v := cnf.Var((i*nbTwoBatch+k)%s.nVars + 1)
+			s.nbTwo(cnf.PosLit(v))
+			s.nbTwo(cnf.NegLit(v))
+		}
+	}
+}
+
+// BenchmarkNbTwoScan is the reference cost of the same queries under the
+// old occurrence-list scan (nbTwoScan, kept in the test suite as the
+// semantic baseline): every clause containing the literal is loaded from
+// the arena and re-classified on every query.
+func BenchmarkNbTwoScan(b *testing.B) {
+	s := nbTwoBench()
+	occ := buildOcc(s)
+	thr := s.opt.NbTwoThreshold
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < nbTwoBatch; k++ {
+			v := cnf.Var((i*nbTwoBatch+k)%s.nVars + 1)
+			nbTwoScan(s, occ, cnf.PosLit(v), thr)
+			nbTwoScan(s, occ, cnf.NegLit(v), thr)
+		}
+	}
+}
+
 // BenchmarkSolveSat exercises the satisfiable path (model extraction, no
 // level-0 empty clause) on a random 3-SAT formula below the phase
 // transition.

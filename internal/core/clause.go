@@ -7,12 +7,30 @@ import "berkmin/internal/cnf"
 // on the chronological stack (Solver.learnts); their position there is
 // their age (§8: "the age of a clause is the position of the clause in the
 // current stack").
+//
+// Attachment is two-tiered. Binary clauses — by far the hottest clause
+// length in BCP — are registered in per-literal implication lists
+// (Solver.binWatches) whose entries carry the partner literal inline, so
+// propagating them never loads the arena; clauses of three or more
+// literals use the classic two-watched-literal lists (Solver.watches).
+// The arena remains the single source of truth for a clause's literals in
+// both tiers (DRUP logging, subsumption, GC); the binary tier is purely an
+// acceleration structure. attach/detach route by clause size.
 
 // watcher pairs a watched clause with a blocker literal: if the blocker is
 // true the clause is satisfied and need not be inspected at all.
 type watcher struct {
 	c       clauseRef
 	blocker cnf.Lit
+}
+
+// binWatcher is one binary-tier implication: an entry in binWatches[l]
+// records a live binary clause (l ∨ other), so falsifying l implies other.
+// The ref is consulted only when the implication conflicts (the conflict
+// clause handed to analyze) — the propagation fast path reads just other.
+type binWatcher struct {
+	other cnf.Lit
+	ref   clauseRef
 }
 
 // lbool is a three-valued boolean: 0 undefined, +1 true, -1 false.

@@ -227,23 +227,43 @@ func (s *Solver) nbTwoPolarity(v cnf.Var) cnf.Lit {
 
 // nbTwo computes the §7 cost function for literal l, stopping once the
 // value exceeds the threshold (100 in the paper's experiments).
+//
+// It runs on the binary tier: binOcc[l] lists the partner literal of every
+// live binary problem clause (l ∨ partner), so the count is an O(1)
+// len() lookup (the zero fast path) plus one short walk over partner
+// literals — no clause scans, no arena loads. The lists are corrected for
+// assignments on the fly: a partner assigned true means the clause is
+// satisfied, and with BCP at a fixed point a false partner cannot coexist
+// with an unassigned l (the clause would have propagated), so skipping
+// every assigned partner counts exactly the currently-binary clauses.
+//
+// This deliberately narrows the paper's "currently binary" to the
+// structural binary tier: a long clause whose other literals all happen to
+// be false no longer contributes. Re-deriving those on every fresh
+// decision is the O(occ²) full-database scan this tier exists to kill; the
+// trade is the standard one (see nbTwoScan in the tests for the reference
+// semantics the differential suite compares against).
 func (s *Solver) nbTwo(l cnf.Lit) int {
+	partners := s.binOcc[l]
+	if len(partners) == 0 {
+		return 0
+	}
 	threshold := s.opt.NbTwoThreshold
 	total := 0
-	for _, c := range s.occ[l] {
-		other, binary := s.binaryOther(c, l)
-		if !binary {
-			continue
+	for _, w := range partners {
+		if s.value(w) != lUndef {
+			continue // true: satisfied; false: unit, not binary
 		}
 		total++
-		// Count binary clauses containing ¬other: after l=0 forces
-		// other=1, these clauses propagate further.
-		for _, d := range s.occ[other.Not()] {
-			if _, bin := s.binaryOther(d, other.Not()); bin {
-				total++
-				if total > threshold {
-					return total
-				}
+		// Count binary clauses containing ¬w: after l=0 forces w=1, these
+		// clauses propagate further.
+		for _, u := range s.binOcc[w.Not()] {
+			if s.value(u) != lUndef {
+				continue
+			}
+			total++
+			if total > threshold {
+				return total
 			}
 		}
 		if total > threshold {
@@ -251,29 +271,4 @@ func (s *Solver) nbTwo(l cnf.Lit) int {
 		}
 	}
 	return total
-}
-
-// binaryOther reports whether the clause is currently binary — unsatisfied
-// with exactly two unassigned literals, one of which is l — and returns the
-// other unassigned literal.
-func (s *Solver) binaryOther(c clauseRef, l cnf.Lit) (cnf.Lit, bool) {
-	other := cnf.LitUndef
-	for _, x := range s.ca.lits(c) {
-		switch s.value(x) {
-		case lTrue:
-			return cnf.LitUndef, false
-		case lUndef:
-			if x == l {
-				continue
-			}
-			if other != cnf.LitUndef {
-				return cnf.LitUndef, false // three or more unassigned
-			}
-			other = x
-		}
-	}
-	if other == cnf.LitUndef {
-		return cnf.LitUndef, false
-	}
-	return other, true
 }

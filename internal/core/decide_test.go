@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"berkmin/internal/cnf"
@@ -159,21 +160,128 @@ func TestNbTwo(t *testing.T) {
 	}
 }
 
-// TestNbTwoCountsCurrentlyBinary checks that satisfied clauses and clauses
-// with more than two free literals are excluded, and assigned literals are
-// ignored.
+// TestNbTwoCountsCurrentlyBinary pins the binary-tier semantics: the count
+// runs over structurally binary problem clauses, corrected for assignments
+// during the scan — a satisfied binary clause stops counting, and a long
+// clause never counts, even when assignments have made it effectively
+// binary (the deliberate narrowing documented on nbTwo).
 func TestNbTwoCountsCurrentlyBinary(t *testing.T) {
 	s := New(DefaultOptions())
-	s.AddClause(cnf.NewClause(1, 2, 3)) // ternary now; binary once 3 is false
+	s.AddClause(cnf.NewClause(1, 2, 3)) // ternary: never counted, assigned or not
 	s.AddClause(cnf.NewClause(1, 4))    // binary; satisfied once 4 is true
 	if got := s.nbTwo(cnf.PosLit(1)); got != 1 {
 		t.Fatalf("nb_two = %d, want 1", got)
 	}
 	s.newDecisionLevel()
-	s.enqueue(cnf.NegLit(3), refUndef) // (1 2 3) becomes effectively binary
-	s.enqueue(cnf.PosLit(4), refUndef) // (1 4) becomes satisfied
+	s.enqueue(cnf.NegLit(3), refUndef) // (1 2 3) effectively binary: still not counted
 	if got := s.nbTwo(cnf.PosLit(1)); got != 1 {
-		t.Fatalf("nb_two after assignments = %d, want 1", got)
+		t.Fatalf("nb_two with falsified ternary literal = %d, want 1", got)
+	}
+	s.enqueue(cnf.PosLit(4), refUndef) // (1 4) becomes satisfied
+	if got := s.nbTwo(cnf.PosLit(1)); got != 0 {
+		t.Fatalf("nb_two with satisfied binary = %d, want 0", got)
+	}
+}
+
+// nbTwoScan is the pre-specialization reference implementation of §7's
+// cost function: a full scan of every problem clause containing l through
+// occurrence lists, re-deriving "currently binary" per clause. The tests
+// and BenchmarkNbTwoScan keep it as the semantic baseline the binary-tier
+// nbTwo is measured against.
+func nbTwoScan(s *Solver, occ [][]clauseRef, l cnf.Lit, threshold int) int {
+	binaryOther := func(c clauseRef, skip cnf.Lit) (cnf.Lit, bool) {
+		other := cnf.LitUndef
+		for _, x := range s.ca.lits(c) {
+			switch s.value(x) {
+			case lTrue:
+				return cnf.LitUndef, false
+			case lUndef:
+				if x == skip {
+					continue
+				}
+				if other != cnf.LitUndef {
+					return cnf.LitUndef, false // three or more unassigned
+				}
+				other = x
+			}
+		}
+		if other == cnf.LitUndef {
+			return cnf.LitUndef, false
+		}
+		return other, true
+	}
+	total := 0
+	for _, c := range occ[l] {
+		other, binary := binaryOther(c, l)
+		if !binary {
+			continue
+		}
+		total++
+		for _, d := range occ[other.Not()] {
+			if _, bin := binaryOther(d, other.Not()); bin {
+				total++
+				if total > threshold {
+					return total
+				}
+			}
+		}
+		if total > threshold {
+			return total
+		}
+	}
+	return total
+}
+
+// buildOcc constructs the per-literal problem-clause occurrence lists the
+// scan-based reference needs (the engine no longer maintains them).
+func buildOcc(s *Solver) [][]clauseRef {
+	occ := make([][]clauseRef, 2*s.nVars+2)
+	for _, c := range s.clauses {
+		for _, l := range s.ca.lits(c) {
+			occ[l] = append(occ[l], c)
+		}
+	}
+	return occ
+}
+
+// TestNbTwoMatchesScanOnBinaryFormulas cross-checks the counter-based
+// nbTwo against the scan-based reference on random 2-SAT formulas under
+// random partial assignments: with only structural binaries present the
+// two definitions coincide for every free literal, assigned or not,
+// fixpoint or not.
+func TestNbTwoMatchesScanOnBinaryFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		n := 6 + rng.Intn(10)
+		s := New(DefaultOptions())
+		f := randomFormula(rng, n, 5*n, 2)
+		s.AddFormula(f)
+		if !s.ok {
+			continue // level-0 UNSAT while loading; nothing to compare
+		}
+		occ := buildOcc(s)
+		// Random partial assignment (no propagation: the definitions must
+		// already agree state-by-state on purely binary databases).
+		s.newDecisionLevel()
+		for v := 1; v <= n; v++ {
+			if rng.Intn(3) == 0 {
+				s.enqueue(cnf.MkLit(cnf.Var(v), rng.Intn(2) == 0), refUndef)
+			}
+		}
+		for v := 1; v <= n; v++ {
+			if s.assigns[v] != lUndef {
+				continue
+			}
+			for _, l := range [2]cnf.Lit{cnf.PosLit(cnf.Var(v)), cnf.NegLit(cnf.Var(v))} {
+				want := nbTwoScan(s, occ, l, s.opt.NbTwoThreshold)
+				got := s.nbTwo(l)
+				// Both cut off above the threshold, but may overshoot it by
+				// different amounts depending on scan order.
+				if got != want && (got <= s.opt.NbTwoThreshold || want <= s.opt.NbTwoThreshold) {
+					t.Fatalf("iter %d: nbTwo(%v) = %d, scan reference = %d", iter, l, got, want)
+				}
+			}
+		}
 	}
 }
 

@@ -49,11 +49,14 @@ func (s *Solver) inprocess() {
 		}
 		if changed {
 			// Tombstoning and in-place shrinking invalidated the watch and
-			// occurrence lists; rebuild before anything propagates again.
+			// binary-partner lists; rebuild before anything propagates
+			// again. The rebuild is also the tier migration: a clause
+			// strengthened down to two literals re-attaches as a binary
+			// implication and re-enters the nb_two partner lists here.
 			s.clauses = dropDeleted(&s.ca, s.clauses)
 			s.learnts = dropDeleted(&s.ca, s.learnts)
 			s.rebuildWatches()
-			s.rebuildOcc()
+			s.rebuildBinOcc()
 			if confl := s.propagate(); confl != refUndef {
 				s.ok = false
 				s.proofEmpty()

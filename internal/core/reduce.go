@@ -49,7 +49,7 @@ func (s *Solver) reduceDB() {
 
 	s.maybeGC()
 	s.rebuildWatches()
-	s.rebuildOcc()
+	s.rebuildBinOcc()
 	if confl := s.propagate(); confl != refUndef {
 		s.ok = false
 		s.proofEmpty()
@@ -159,6 +159,14 @@ func (s *Solver) reduceBerkMin() {
 		switch {
 		case i == m-1 || s.ca.protect(c):
 			keep = true
+		case s.ca.size(c) <= 2:
+			// Binary clauses are permanent: they cost two list entries, are
+			// propagated for free by the binary tier, and their activity is
+			// deliberately not tracked (analyze.go skips the bump), so the
+			// activity-based rules below must never see them. Every shipped
+			// configuration kept them anyway (YoungMaxLen and OldMaxLen far
+			// exceed 2); this makes the two-tier invariant explicit.
+			keep = true
 		case d*s.opt.YoungFracDen < m*s.opt.YoungFracNum: // young
 			keep = s.ca.size(c) < s.opt.YoungMaxLen || s.ca.act(c) > s.opt.YoungMinAct
 		default: // old
@@ -189,7 +197,8 @@ func (s *Solver) reduceLimitedKeeping() {
 	}
 	kept := s.learnts[:0]
 	for i, c := range s.learnts {
-		if i == m-1 || s.ca.protect(c) || s.ca.size(c) <= s.opt.LimitedKeepLen {
+		// Binary clauses are permanent here too (see reduceBerkMin).
+		if i == m-1 || s.ca.protect(c) || s.ca.size(c) <= 2 || s.ca.size(c) <= s.opt.LimitedKeepLen {
 			kept = append(kept, c)
 		} else {
 			s.stats.DeletedTotal++

@@ -97,7 +97,10 @@ func (s *Solver) drainImports() bool {
 		default:
 			// The clause is appended at the arena top, beyond any
 			// tombstones still awaiting compaction; it is relocated like
-			// any other live clause at the next GC.
+			// any other live clause at the next GC. attach routes by size,
+			// so an imported binary clause lands directly in the fast
+			// implication tier (portfolio sharing favors short clauses —
+			// binary imports are the common case).
 			c := s.ca.alloc(out, true)
 			s.learnts = append(s.learnts, c)
 			s.attach(c)

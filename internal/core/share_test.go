@@ -47,7 +47,7 @@ func TestImportWhileTombstonesAwaitGC(t *testing.T) {
 	// the search (¬2 ∨ ¬3 with (1∨2) and (¬1∨3) forces a consistent model).
 	s.garbageCollect()
 	s.rebuildWatches()
-	s.rebuildOcc()
+	s.rebuildBinOcc()
 	if s.ca.wasted != 0 {
 		t.Fatalf("wasted after GC = %d", s.ca.wasted)
 	}
@@ -93,7 +93,7 @@ func TestImportDuplicateOfArenaClause(t *testing.T) {
 	s.reduceDB()
 	s.garbageCollect()
 	s.rebuildWatches()
-	s.rebuildOcc()
+	s.rebuildBinOcc()
 	if r := s.Solve(); r.Status != StatusSat {
 		t.Fatalf("status after GC = %v", r.Status)
 	}

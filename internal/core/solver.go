@@ -70,21 +70,30 @@ type Solver struct {
 	clauses []clauseRef // problem clauses (physically shrunk by simplification)
 	learnts []clauseRef // conflict-clause stack, index = age, top = end
 
-	watches [][]watcher // watches[l]: clauses currently watching literal l
+	watches    [][]watcher    // watches[l]: clauses of >= 3 literals currently watching literal l
+	binWatches [][]binWatcher // binWatches[l]: live binary clauses (l ∨ other); falsifying l implies other
 
-	assigns  []lbool     // per variable
-	vlevel   []int32     // per variable: decision level of its assignment
-	reason   []clauseRef // per variable: antecedent clause (refUndef for decisions)
-	trail    []cnf.Lit
-	trailLim []int
-	qhead    int
+	assigns   []lbool     // per variable
+	vlevel    []int32     // per variable: decision level of its assignment
+	reason    []clauseRef // per variable: antecedent clause (refUndef for decisions, refBin for binary implications)
+	binReason []cnf.Lit   // per variable: the implying (false) literal when reason is refBin
+	trail     []cnf.Lit
+	trailLim  []int
+	qhead     int
 
 	varAct   []int64 // per variable: BerkMin var_activity (§4)
 	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
 	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
 	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
 
-	occ [][]clauseRef // per literal: problem clauses containing it (for nb_two, §7)
+	// binOcc[l] lists the partner literal of every live binary *problem*
+	// clause (l ∨ partner) — the incrementally maintained §7 nb_two
+	// structure: len(binOcc[l]) is the O(1) count of binary clauses
+	// containing l, and the entries are the one short walk nbTwo needs
+	// (decide.go). Maintained by addBinOcc/rebuildBinOcc; clauses removed
+	// or strengthened to binary by simplification and inprocessing migrate
+	// via the wholesale rebuild those passes already end with.
+	binOcc [][]cnf.Lit
 
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
@@ -173,6 +182,7 @@ func (s *Solver) ensureVars(n int) {
 		s.assigns = append(s.assigns, lUndef)
 		s.vlevel = append(s.vlevel, 0)
 		s.reason = append(s.reason, refUndef)
+		s.binReason = append(s.binReason, cnf.LitUndef)
 		s.varAct = append(s.varAct, 0)
 		s.seen = append(s.seen, false)
 		s.phase = append(s.phase, lUndef)
@@ -184,9 +194,10 @@ func (s *Solver) ensureVars(n int) {
 	}
 	for len(s.watches) <= 2*n+1 {
 		s.watches = append(s.watches, nil)
+		s.binWatches = append(s.binWatches, nil)
 		s.litAct = append(s.litAct, 0)
 		s.chaffAct = append(s.chaffAct, 0)
-		s.occ = append(s.occ, nil)
+		s.binOcc = append(s.binOcc, nil)
 	}
 }
 
@@ -257,20 +268,37 @@ func (s *Solver) AddClause(c cnf.Clause) {
 	cl := s.ca.alloc(out, false)
 	s.clauses = append(s.clauses, cl)
 	s.attach(cl)
-	s.addOcc(cl)
+	s.addBinOcc(cl)
 }
 
-// attach registers the clause's first two literals in the watch lists.
+// attach registers a clause in its tier: binary clauses go to the
+// per-literal implication lists (both literals are "watched" for free),
+// longer clauses watch their first two literals. The BinClauses gauge
+// counts binary-tier attachments; rebuildWatches resets it, which also
+// absorbs clauses freed without a detach (level-0 simplification,
+// subsumption) — every such pass ends in a rebuild.
 func (s *Solver) attach(c clauseRef) {
 	lits := s.ca.lits(c)
+	if len(lits) == 2 {
+		s.binWatches[lits[0]] = append(s.binWatches[lits[0]], binWatcher{lits[1], c})
+		s.binWatches[lits[1]] = append(s.binWatches[lits[1]], binWatcher{lits[0], c})
+		s.stats.BinClauses++
+		return
+	}
 	s.watches[lits[0]] = append(s.watches[lits[0]], watcher{c, lits[1]})
 	s.watches[lits[1]] = append(s.watches[lits[1]], watcher{c, lits[0]})
 }
 
-func (s *Solver) addOcc(c clauseRef) {
-	for _, l := range s.ca.lits(c) {
-		s.occ[l] = append(s.occ[l], c)
+// addBinOcc registers a binary problem clause in the nb_two partner lists
+// (no-op for longer clauses and for learnt clauses — §7 counts clauses of
+// the formula only, as the old occurrence lists did).
+func (s *Solver) addBinOcc(c clauseRef) {
+	lits := s.ca.lits(c)
+	if len(lits) != 2 {
+		return
 	}
+	s.binOcc[lits[0]] = append(s.binOcc[lits[0]], lits[1])
+	s.binOcc[lits[1]] = append(s.binOcc[lits[1]], lits[0])
 }
 
 // enqueue records the assignment making l true, with the given antecedent.
@@ -292,6 +320,24 @@ func (s *Solver) enqueue(l cnf.Lit, from clauseRef) bool {
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
 	return true
+}
+
+// enqueueBin records the assignment making l true with a binary antecedent
+// (l ∨ from) whose other literal from is false: the reason is encoded as
+// refBin plus the implying literal, so conflict analysis resolves it
+// without an arena load. The caller must have established value(l) ==
+// lUndef (the binary propagation loop and record do).
+func (s *Solver) enqueueBin(l, from cnf.Lit) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.vlevel[v] = int32(s.decisionLevel())
+	s.reason[v] = refBin
+	s.binReason[v] = from
+	s.trail = append(s.trail, l)
 }
 
 // newDecisionLevel opens a new decision level.

@@ -90,12 +90,21 @@ func (r StopReason) ResourceLimit() bool {
 // are PER-CALL, overwritten at the start or end of each solve: Stop (why
 // the most recent call returned), Runtime (the most recent call's
 // wall-clock) and InitialClauses (the problem-clause count as of the most
-// recent call). TestStatsIncrementalSemantics pins this contract.
+// recent call). BinClauses is a GAUGE: the binary clauses attached right
+// now, not a running total. TestStatsIncrementalSemantics pins this
+// contract.
 type Stats struct {
 	Decisions    uint64
 	Conflicts    uint64
 	Propagations uint64
 	Restarts     uint64
+
+	// BinPropagations counts assignments produced by the binary implication
+	// tier (a subset of the assignments behind Propagations); BinClauses is
+	// the number of binary clauses — problem and learnt — currently
+	// attached to that tier (a gauge, recomputed by every watch rebuild).
+	BinPropagations uint64
+	BinClauses      int
 
 	// Stop is why the most recent Solve call returned (per-call, not
 	// cumulative).

@@ -1,12 +1,19 @@
 package core
 
-import "berkmin/internal/cnf"
+import (
+	"fmt"
 
-// propagate performs Boolean constraint propagation with two watched
-// literals per clause (the SATO/Chaff scheme the paper adopts in §2,
-// "our own implementation of this idea of SATO"). It returns the
-// conflicting clause, or refUndef if a fixed point is reached. The loop
-// touches only the flat arena and the watch lists; it allocates nothing
+	"berkmin/internal/cnf"
+)
+
+// propagate performs Boolean constraint propagation. For each trail
+// literal it first drains the binary tier — per-literal implication lists
+// whose entries carry the partner literal inline, so a binary clause is
+// propagated with one three-valued lookup and no arena access — and then
+// runs two-watched-literal propagation (the SATO/Chaff scheme the paper
+// adopts in §2, "our own implementation of this idea of SATO") over the
+// clauses of three or more literals. It returns the conflicting clause, or
+// refUndef if a fixed point is reached. The loop allocates nothing
 // (watch-list and trail growth is amortized and reaches zero in steady
 // state — see BenchmarkPropagate).
 func (s *Solver) propagate() clauseRef {
@@ -16,6 +23,22 @@ func (s *Solver) propagate() clauseRef {
 		s.stats.Propagations++
 
 		falsified := p.Not()
+
+		// Binary tier: every entry is a complete implication. Nothing is
+		// ever moved or removed here, so an early conflict return leaves
+		// the lists intact (the conflicting level is backtracked anyway).
+		for _, w := range s.binWatches[falsified] {
+			switch s.value(w.other) {
+			case lTrue:
+			case lFalse:
+				s.qhead = len(s.trail)
+				return w.ref
+			default:
+				s.enqueueBin(w.other, falsified)
+				s.stats.BinPropagations++
+			}
+		}
+
 		ws := s.watches[falsified]
 		kept := ws[:0]
 		for i := 0; i < len(ws); i++ {
@@ -67,17 +90,32 @@ func (s *Solver) propagate() clauseRef {
 	return refUndef
 }
 
-// detach removes a single clause's two watcher entries, leaving every other
-// watch list untouched. The clause must currently be attached; propagation
-// keeps its watched literals in slots 0 and 1, so those two lists are the
-// only ones to scan. Inprocessing uses this to replace one clause without
-// the wholesale rebuild reduceDB does.
+// detach removes a single clause's watcher entries from its tier, leaving
+// every other list untouched. The clause must currently be attached with
+// its present size: binary clauses sit in both binWatches lists, longer
+// clauses keep their watched literals in slots 0 and 1 under propagation,
+// so those two lists are the only ones to scan. Inprocessing uses this to
+// replace one clause without the wholesale rebuild reduceDB does.
 func (s *Solver) detach(c clauseRef) {
 	lits := s.ca.lits(c)
+	if len(lits) == 2 {
+		s.removeBinWatch(lits[0], c)
+		s.removeBinWatch(lits[1], c)
+		s.stats.BinClauses--
+		if !s.ca.learnt(c) {
+			s.removeBinOcc(lits[0], lits[1])
+			s.removeBinOcc(lits[1], lits[0])
+		}
+		return
+	}
 	s.removeWatch(lits[0], c)
 	s.removeWatch(lits[1], c)
 }
 
+// removeWatch unregisters one watcher. A missing entry means the watch
+// lists and the clause database have diverged — corruption that would
+// otherwise surface as a miracle UNSAT much later — so it panics instead
+// of no-opping.
 func (s *Solver) removeWatch(l cnf.Lit, c clauseRef) {
 	ws := s.watches[l]
 	for i := range ws {
@@ -87,20 +125,56 @@ func (s *Solver) removeWatch(l cnf.Lit, c clauseRef) {
 			return
 		}
 	}
+	panic(fmt.Sprintf("core: removeWatch: clause %d not on the watch list of literal %v", c, l))
 }
 
-// rebuildWatches drops every watch list and re-attaches all clauses.
-// Database management removes and shrinks clauses, so the paper's
+// removeBinWatch unregisters one binary-tier implication, with the same
+// corruption panic as removeWatch.
+func (s *Solver) removeBinWatch(l cnf.Lit, c clauseRef) {
+	ws := s.binWatches[l]
+	for i := range ws {
+		if ws[i].ref == c {
+			ws[i] = ws[len(ws)-1]
+			s.binWatches[l] = ws[:len(ws)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: removeBinWatch: clause %d not on the binary list of literal %v", c, l))
+}
+
+// removeBinOcc drops one nb_two partner entry (l ∨ partner). Duplicate
+// binary clauses yield duplicate entries; removing any one of them keeps
+// the multiset correct.
+func (s *Solver) removeBinOcc(l, partner cnf.Lit) {
+	occ := s.binOcc[l]
+	for i := range occ {
+		if occ[i] == partner {
+			occ[i] = occ[len(occ)-1]
+			s.binOcc[l] = occ[:len(occ)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: removeBinOcc: no binary clause (%v %v) recorded", l, partner))
+}
+
+// rebuildWatches drops every watch list — both tiers — and re-attaches all
+// clauses. Database management removes and shrinks clauses, so the paper's
 // BerkMin "partially or completely recomputes" its data structures after a
-// cleaning (§8); rebuilding wholesale keeps the invariants simple.
+// cleaning (§8); rebuilding wholesale keeps the invariants simple. It is
+// also the migration point between tiers: a long clause strengthened or
+// stripped down to two literals re-attaches as a binary implication here.
 // Must be called at decision level 0 with no pending propagations beyond
-// qhead; clauses of length >= 2 must have two non-false (or
+// qhead; clauses of length >= 3 must have two non-false (or
 // level-0-satisfied) literals in slots 0 and 1, which simplification
 // guarantees.
 func (s *Solver) rebuildWatches() {
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
 	}
+	for i := range s.binWatches {
+		s.binWatches[i] = s.binWatches[i][:0]
+	}
+	s.stats.BinClauses = 0 // attach re-counts both clause lists
 	for _, c := range s.clauses {
 		s.attach(c)
 	}
@@ -109,14 +183,14 @@ func (s *Solver) rebuildWatches() {
 	}
 }
 
-// rebuildOcc recomputes the problem-clause occurrence lists used by the
-// nb_two cost function (§7).
-func (s *Solver) rebuildOcc() {
-	for i := range s.occ {
-		s.occ[i] = s.occ[i][:0]
+// rebuildBinOcc recomputes the binary-partner lists backing the nb_two
+// cost function (§7) from the live problem clauses.
+func (s *Solver) rebuildBinOcc() {
+	for i := range s.binOcc {
+		s.binOcc[i] = s.binOcc[i][:0]
 	}
 	for _, c := range s.clauses {
-		s.addOcc(c)
+		s.addBinOcc(c)
 	}
 }
 

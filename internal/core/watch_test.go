@@ -100,6 +100,128 @@ func TestBacktrackRestoresWatchConsistency(t *testing.T) {
 	}
 }
 
+// TestBinaryReasonLiteralEncoded: an assignment propagated through the
+// binary tier carries a literal-encoded antecedent (refBin + the implying
+// false literal), and conflict analysis resolves it into a correct learnt
+// clause.
+func TestBinaryReasonLiteralEncoded(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(-1, 2)) // x1 → x2
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), refUndef)
+	if confl := s.propagate(); confl != refUndef {
+		t.Fatal("no conflict expected")
+	}
+	if s.reason[2] != refBin {
+		t.Fatalf("reason[2] = %d, want refBin", s.reason[2])
+	}
+	if s.binReason[2] != cnf.NegLit(1) {
+		t.Fatalf("binReason[2] = %v, want ¬x1 (the falsified clause literal)", s.binReason[2])
+	}
+	if s.stats.BinPropagations != 1 {
+		t.Fatalf("BinPropagations = %d, want 1", s.stats.BinPropagations)
+	}
+}
+
+// TestBinaryConflictReportsArenaClause: a conflict found on the binary
+// fast path must still hand analyze a real arena ref whose literals are
+// all false.
+func TestBinaryConflictReportsArenaClause(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(-1, 2))
+	s.AddClause(cnf.NewClause(-1, -2))
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), refUndef)
+	confl := s.propagate()
+	if confl == refUndef {
+		t.Fatal("expected conflict")
+	}
+	if confl == refBin {
+		t.Fatal("conflict reported as the refBin sentinel, not a clause")
+	}
+	if n := s.ca.size(confl); n != 2 {
+		t.Fatalf("conflict clause size = %d, want the binary clause", n)
+	}
+	for _, l := range s.ca.lits(confl) {
+		if s.value(l) != lFalse {
+			t.Fatalf("conflict clause literal %v not false", l)
+		}
+	}
+}
+
+// TestBinaryTierAttachment: binary clauses live in binWatches (and the
+// BinClauses gauge), longer clauses in the classic watch lists, and a
+// wholesale rebuild preserves the split.
+func TestBinaryTierAttachment(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(1, 2, 3))
+	if got := s.stats.BinClauses; got != 1 {
+		t.Fatalf("BinClauses = %d, want 1", got)
+	}
+	if n := len(s.binWatches[cnf.PosLit(1)]); n != 1 {
+		t.Fatalf("binWatches[x1] holds %d entries, want 1", n)
+	}
+	if n := len(s.watches[cnf.PosLit(1)]); n != 1 {
+		t.Fatalf("watches[x1] holds %d entries, want 1 (the ternary)", n)
+	}
+	s.rebuildWatches()
+	s.rebuildBinOcc()
+	if got := s.stats.BinClauses; got != 1 {
+		t.Fatalf("BinClauses after rebuild = %d, want 1", got)
+	}
+	if n := len(s.binWatches[cnf.PosLit(2)]); n != 1 {
+		t.Fatalf("binWatches[x2] after rebuild holds %d entries, want 1", n)
+	}
+	if n := len(s.binOcc[cnf.PosLit(1)]); n != 1 || s.binOcc[cnf.PosLit(1)][0] != cnf.PosLit(2) {
+		t.Fatalf("binOcc[x1] = %v, want [x2]", s.binOcc[cnf.PosLit(1)])
+	}
+}
+
+// TestRemoveWatchPanicsOnMissing: a watcher removal that finds nothing is
+// watch-list corruption and must panic loudly instead of no-opping.
+func TestRemoveWatchPanicsOnMissing(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s silently ignored a missing entry", name)
+			}
+		}()
+		f()
+	}
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2, 3))
+	s.AddClause(cnf.NewClause(4, 5))
+	phantom := s.ca.alloc([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, false)
+	expectPanic("removeWatch", func() { s.removeWatch(cnf.PosLit(1), phantom) })
+	expectPanic("removeBinWatch", func() { s.removeBinWatch(cnf.PosLit(4), phantom) })
+	expectPanic("removeBinOcc", func() { s.removeBinOcc(cnf.PosLit(4), cnf.PosLit(9)) })
+}
+
+// TestDetachBothTiers: detach must unhook a clause from whichever tier it
+// was attached to, keeping the gauge and partner lists consistent.
+func TestDetachBothTiers(t *testing.T) {
+	s := New(DefaultOptions())
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(3, 4, 5))
+	bin, long := s.clauses[0], s.clauses[1]
+	s.detach(bin)
+	if got := s.stats.BinClauses; got != 0 {
+		t.Fatalf("BinClauses after binary detach = %d, want 0", got)
+	}
+	if n := len(s.binWatches[cnf.PosLit(1)]) + len(s.binWatches[cnf.PosLit(2)]); n != 0 {
+		t.Fatal("binary watcher entries survived detach")
+	}
+	if n := len(s.binOcc[cnf.PosLit(1)]) + len(s.binOcc[cnf.PosLit(2)]); n != 0 {
+		t.Fatal("binary partner entries survived detach")
+	}
+	s.detach(long)
+	if n := len(s.watches[cnf.PosLit(3)]) + len(s.watches[cnf.PosLit(4)]); n != 0 {
+		t.Fatal("long watcher entries survived detach")
+	}
+}
+
 // TestSatisfiedCache: the blocker cache answers without rescanning, and is
 // invalidated correctly by value changes.
 func TestSatisfiedCache(t *testing.T) {
@@ -131,7 +253,7 @@ func TestRebuildWatchesPreservesBehavior(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddFormula(f)
 	s.rebuildWatches()
-	s.rebuildOcc()
+	s.rebuildBinOcc()
 	want := dpll.Solve(f).Sat
 	if r := s.Solve(); (r.Status == StatusSat) != want {
 		t.Fatalf("engine %v vs dpll sat=%v", r.Status, want)

@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof profilers into the command-line
+// front-ends (berkmin, satbench), so hot-path work on the solver core is
+// measurable without ad-hoc patches:
+//
+//	berkmin -cpuprofile cpu.pb.gz hard.cnf && go tool pprof cpu.pb.gz
+//	satbench -table 7 -memprofile mem.pb.gz && go tool pprof mem.pb.gz
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start arms the optional profile outputs (either path may be empty) and
+// returns a stop function to defer: CPU profiling runs from Start until
+// stop, and the heap profile is snapshotted — after a final GC, so it
+// shows the live set rather than collectable garbage — when stop runs.
+// A heap-profile write failure is reported on stderr rather than returned:
+// by then the command's real work has already succeeded.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mem profile: %v\n", err)
+		}
+	}, nil
+}
