@@ -360,6 +360,10 @@ type ParallelOptions struct {
 	// ShareMaxLen caps exchanged learnt-clause length (0: default 8,
 	// negative: disable sharing).
 	ShareMaxLen int
+	// ShareMaxGlue additionally exchanges clauses of glue (LBD) at most
+	// this regardless of length (0: default 4, negative: disable the glue
+	// route and share by length only).
+	ShareMaxGlue int
 	// Per-solver budgets, as in Options (0 = unlimited).
 	MaxConflicts uint64
 	MaxTime      time.Duration
@@ -387,6 +391,7 @@ func SolveParallel(f *Formula, opt ParallelOptions) ParallelResult {
 	popt := portfolio.Options{
 		Jobs:         opt.Jobs,
 		ShareMaxLen:  opt.ShareMaxLen,
+		ShareMaxGlue: opt.ShareMaxGlue,
 		MaxConflicts: opt.MaxConflicts,
 		MaxTime:      opt.MaxTime,
 		BaseSeed:     opt.Seed,

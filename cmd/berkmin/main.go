@@ -8,8 +8,10 @@
 //	berkmin [flags] [file.cnf]        (stdin when no file is given)
 //
 // The -config flag selects the paper's configurations: berkmin (default),
-// less-sensitivity, less-mobility, limited-keeping, chaff, limmat, or the
-// branch-selection ablations sat-top, unsat-top, take-0, take-1, take-rand.
+// less-sensitivity, less-mobility, limited-keeping, chaff, limmat, the
+// branch-selection ablations sat-top, unsat-top, take-0, take-1, take-rand,
+// or tiered — the modern extension (glue-aware three-tier learnt database,
+// Luby restarts with glue-based postponement, phase saving).
 package main
 
 import (
@@ -42,6 +44,8 @@ func configByName(name string) (core.Options, bool) {
 		return core.ChaffOptions(), true
 	case "limmat":
 		return core.LimmatOptions(), true
+	case "tiered":
+		return core.TieredOptions(), true
 	case "sat-top":
 		return core.BranchOptions(core.PolaritySatTop), true
 	case "unsat-top":
@@ -58,7 +62,7 @@ func configByName(name string) (core.Options, bool) {
 
 func run() int {
 	var (
-		configName   = flag.String("config", "berkmin", "solver configuration (berkmin, less-sensitivity, less-mobility, limited-keeping, chaff, limmat, sat-top, unsat-top, take-0, take-1, take-rand)")
+		configName   = flag.String("config", "berkmin", "solver configuration (berkmin, less-sensitivity, less-mobility, limited-keeping, chaff, limmat, tiered, sat-top, unsat-top, take-0, take-1, take-rand)")
 		maxConflicts = flag.Uint64("max-conflicts", 0, "abort after this many conflicts (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 0, "abort after this wall-clock time (0 = unlimited)")
 		seed         = flag.Uint64("seed", 1, "PRNG seed (deterministic reruns)")
@@ -185,6 +189,12 @@ func run() int {
 		if st.InprocessPasses > 0 {
 			fmt.Fprintf(os.Stderr, "c inprocess: %d passes, %d subsumed, %d strengthened lits, %d vivified\n",
 				st.InprocessPasses, st.SubsumedClauses, st.StrengthenedLits, st.VivifiedClauses)
+		}
+		if st.LearntTotal > 0 {
+			fmt.Fprintf(os.Stderr, "c glue: avg=%.2f tiers core=%d tier2=%d local=%d promoted=%d demoted=%d postponed-restarts=%d\n",
+				float64(st.GlueSum)/float64(st.LearntTotal),
+				st.CoreLearnts, st.Tier2Learnts, st.LocalLearnts,
+				st.TierPromotions, st.TierDemotions, st.PostponedRestarts)
 		}
 		fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
 	}

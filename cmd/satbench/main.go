@@ -30,7 +30,7 @@ func main() {
 func run() int {
 	var (
 		table        = flag.String("table", "all", "table number 1-10, or 'all'")
-		ablation     = flag.String("ablation", "", "run a DESIGN.md §5 ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, or 'all'")
+		ablation     = flag.String("ablation", "", "run an ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb, or 'all'")
 		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")

@@ -168,6 +168,42 @@ func AblationSimplify(sc Scale, lim Limits) *Report {
 		})
 }
 
+// AblationTieredDB is the ISSUE-5 clause-database ablation: BerkMin's §8
+// age/length/activity management against the glue-aware three-tier
+// database, fixed against Luby restarts, and phase saving on/off — ending
+// at the full TieredOptions configuration (tiers + Luby + postponement +
+// phase saving). Every row runs the default preprocessing pipeline of the
+// harness Limits, so the deltas isolate the in-search heuristics.
+func AblationTieredDB(sc Scale, lim Limits) *Report {
+	mk := func(name string, set func(*core.Options)) Config {
+		o := core.DefaultOptions()
+		set(&o)
+		return Config{Name: name, Opt: o}
+	}
+	luby := func(o *core.Options) {
+		o.Restart = core.RestartLuby
+		o.RestartFirst = 100
+		o.RestartJitter = 0
+	}
+	cfgs := []Config{
+		mk("berkmin-db/fixed", func(o *core.Options) {}),
+		mk("berkmin-db/luby", luby),
+		mk("tiered/fixed", func(o *core.Options) { o.Reduce = core.ReduceTiered }),
+		mk("tiered/luby", func(o *core.Options) { o.Reduce = core.ReduceTiered; luby(o) }),
+		mk("tiered/luby/phase", func(o *core.Options) {
+			o.Reduce = core.ReduceTiered
+			luby(o)
+			o.PhaseSaving = true
+		}),
+		{Name: "tiered/luby/phase/postpone", Opt: core.TieredOptions()},
+	}
+	return ablationReport("Ablation — learnt-clause database tiers & restarts (extension; see README)",
+		cfgs, sc, lim, []string{
+			"tiered: CORE (glue<=2, permanent) / TIER2 (recently useful) / LOCAL (activity-sorted, halved)",
+			"postpone: due restarts re-armed while recent avg glue < 0.8x lifetime avg",
+		})
+}
+
 // AblationPhaseSaving measures phase saving against the paper's §7
 // polarity heuristics.
 func AblationPhaseSaving(sc Scale, lim Limits) *Report {
@@ -197,12 +233,14 @@ func Ablation(name string, sc Scale, lim Limits) (*Report, error) {
 		return AblationPhaseSaving(sc, lim), nil
 	case "simplify":
 		return AblationSimplify(sc, lim), nil
+	case "tiereddb":
+		return AblationTieredDB(sc, lim), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify)", name)
+		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb)", name)
 	}
 }
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase", "simplify"}
+	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase", "simplify", "tiereddb"}
 }

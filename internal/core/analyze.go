@@ -85,6 +85,11 @@ func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 		learnt = s.minimize(learnt)
 	}
 
+	// Glue (LBD) of the final learnt clause: every literal is still
+	// assigned here (backtracking happens after analyze returns), so the
+	// distinct-level count is exact. record consumes it via lastGlue.
+	s.lastGlue = s.computeGlue(learnt)
+
 	// Chaff-style activity updates operate on the final learnt clause only.
 	if s.opt.Sensitivity == SensitivityConflictClause {
 		for _, q := range learnt {
@@ -124,13 +129,47 @@ func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 
 // bumpResponsible applies BerkMin's sensitivity rule (§4) and clause
 // activity accounting (§8) to one clause responsible for the conflict.
+// Under the tiered database it additionally marks the clause as touched
+// and recomputes its glue — every literal of an antecedent is assigned
+// during analysis, so the distinct-level count is exact — promoting the
+// clause when the glue improved (the Glucose "update LBD on use" rule).
 func (s *Solver) bumpResponsible(c clauseRef) {
 	s.ca.bumpAct(c)
+	if s.opt.Reduce == ReduceTiered && s.ca.learnt(c) {
+		s.ca.setTouched(c)
+		if g := s.ca.glue(c); g > s.opt.CoreGlue {
+			if ng := s.computeGlue(s.ca.lits(c)); ng < g {
+				s.ca.setGlue(c, ng)
+				s.promoteTier(c, ng)
+			}
+		}
+	}
 	if s.opt.Sensitivity == SensitivityResponsible {
 		for _, q := range s.ca.lits(c) {
 			s.bumpVar(q.Var())
 		}
 	}
+}
+
+// computeGlue returns the clause's glue — the number of distinct decision
+// levels among its literals (LBD, "literals blocks distance"). Every
+// literal must be assigned. One stamped pass over glueSeen, no clearing,
+// no allocation.
+func (s *Solver) computeGlue(lits []cnf.Lit) int {
+	s.glueStamp++
+	if s.glueStamp == 0 { // stamp wrapped: reset the scratch once
+		clear(s.glueSeen)
+		s.glueStamp = 1
+	}
+	g := 0
+	for _, l := range lits {
+		lv := s.vlevel[l.Var()]
+		if s.glueSeen[lv] != s.glueStamp {
+			s.glueSeen[lv] = s.glueStamp
+			g++
+		}
+	}
+	return g
 }
 
 // bumpVar increments a variable's activity and keeps the strategy-3 heap
@@ -191,10 +230,12 @@ func (s *Solver) record(learnt []cnf.Lit) {
 		s.debugLearnt(learnt)
 	}
 	s.stats.LearntTotal++
+	glue := s.lastGlue
+	s.noteGlue(glue)
 	for _, l := range learnt {
 		s.litAct[l]++
 	}
-	s.exportLearnt(learnt)
+	s.exportLearnt(learnt, glue)
 	s.proofAdd(learnt)
 	if len(learnt) == 1 {
 		// Asserted at level 0; nothing is stored, the assignment is kept.
@@ -202,6 +243,11 @@ func (s *Solver) record(learnt []cnf.Lit) {
 		return
 	}
 	c := s.ca.alloc(learnt, true)
+	s.ca.setGlue(c, glue)
+	t := s.tierFor(glue, len(learnt))
+	s.ca.setTier(c, t)
+	s.ca.setTouched(c)
+	s.tierGaugeAdd(t, 1)
 	s.learnts = append(s.learnts, c)
 	s.attach(c)
 	s.notePeak()

@@ -21,7 +21,12 @@ import (
 //	              the forwarding ref while hdrReloc is set during GC
 //	[2] satCache: a literal that satisfied the clause at its last
 //	              inspection (cheap top-clause scan, §5); LitUndef if none
-//	[3..3+size)  the literals
+//	[3] extra:    glue (LBD — the distinct decision levels of the clause at
+//	              learn time, improved on reuse) in the low 16 bits, the
+//	              learnt-database tier (CORE/TIER2/LOCAL) in bits 16-17, and
+//	              the touched flag (participated in a conflict since the
+//	              last tiered cleaning) in bit 18
+//	[4..4+size)  the literals
 //
 // Deletion is lazy: free only sets hdrDeleted and accounts the words as
 // wasted; the clause stays readable (its literals are still needed for
@@ -50,8 +55,36 @@ const (
 
 	hdrSizeShift = 4
 
-	// clauseHdrWords is the per-clause overhead: header, activity, satCache.
-	clauseHdrWords = 3
+	// clauseHdrWords is the per-clause overhead: header, activity,
+	// satCache, extra (glue/tier/touched).
+	clauseHdrWords = 4
+)
+
+// clauseTier is a learnt clause's retention class under the glue-aware
+// three-tier database (ReduceTiered, reduce.go). The numeric order matters:
+// a clause only ever moves to a numerically larger tier when its glue
+// improves (promotion), and TIER2→LOCAL demotion is the one exception,
+// applied by the cleaning pass when a TIER2 clause sat out a whole
+// inter-cleaning interval.
+type clauseTier uint32
+
+const (
+	// tierLocal holds everything else: activity-sorted, worst half deleted
+	// at each cleaning.
+	tierLocal clauseTier = 0
+	// tierMid (TIER2) holds recently useful mid-glue clauses; demoted to
+	// LOCAL after a full inter-cleaning interval without a conflict.
+	tierMid clauseTier = 1
+	// tierCore holds glue ≤ CoreGlue clauses and binaries: never deleted.
+	tierCore clauseTier = 2
+)
+
+// Bit layout of the extra word.
+const (
+	xtrGlueMask  uint32 = 0xFFFF // low 16 bits: glue (LBD), saturating
+	xtrTierShift        = 16
+	xtrTierMask  uint32 = 3 << xtrTierShift
+	xtrTouched   uint32 = 1 << 18
 )
 
 // clauseArena owns the flat storage.
@@ -86,7 +119,7 @@ func (a *clauseArena) alloc(lits []cnf.Lit, learnt bool) clauseRef {
 	if learnt {
 		hdr |= hdrLearnt
 	}
-	a.data = append(a.data, hdr, 0, uint32(cnf.LitUndef))
+	a.data = append(a.data, hdr, 0, uint32(cnf.LitUndef), 0)
 	for _, l := range lits {
 		a.data = append(a.data, uint32(l))
 	}
@@ -119,6 +152,33 @@ func (a *clauseArena) setAct(r clauseRef, v int64) { a.data[r+1] = uint32(v) }
 
 func (a *clauseArena) satCache(r clauseRef) cnf.Lit       { return cnf.Lit(a.data[r+2]) }
 func (a *clauseArena) setSatCache(r clauseRef, l cnf.Lit) { a.data[r+2] = uint32(l) }
+
+// glue returns the clause's LBD — the number of distinct decision levels
+// its literals spanned when it was learnt, lowered whenever a recomputation
+// during conflict analysis finds an improvement (analyze.go).
+func (a *clauseArena) glue(r clauseRef) int { return int(a.data[r+3] & xtrGlueMask) }
+
+func (a *clauseArena) setGlue(r clauseRef, g int) {
+	if g > int(xtrGlueMask) {
+		g = int(xtrGlueMask) // saturate; a glue this high never matters
+	}
+	a.data[r+3] = a.data[r+3]&^xtrGlueMask | uint32(g)
+}
+
+func (a *clauseArena) tier(r clauseRef) clauseTier {
+	return clauseTier(a.data[r+3]&xtrTierMask) >> xtrTierShift
+}
+
+func (a *clauseArena) setTier(r clauseRef, t clauseTier) {
+	a.data[r+3] = a.data[r+3]&^xtrTierMask | uint32(t)<<xtrTierShift
+}
+
+// touched marks participation in a conflict since the last tiered
+// cleaning: TIER2 clauses that are never touched between cleanings are
+// demoted (reduce.go).
+func (a *clauseArena) touched(r clauseRef) bool { return a.data[r+3]&xtrTouched != 0 }
+func (a *clauseArena) setTouched(r clauseRef)   { a.data[r+3] |= xtrTouched }
+func (a *clauseArena) clearTouched(r clauseRef) { a.data[r+3] &^= xtrTouched }
 
 // has reports whether the clause contains the literal.
 func (a *clauseArena) has(r clauseRef, l cnf.Lit) bool {

@@ -88,6 +88,9 @@ func TestGarbageCollectRelocates(t *testing.T) {
 	s.learnts = append(s.learnts, learnt)
 	s.ca.setAct(learnt, 7)
 	s.ca.setProtect(learnt)
+	s.ca.setGlue(learnt, 2)
+	s.ca.setTier(learnt, tierCore)
+	s.ca.setTouched(learnt)
 	s.ca.free(dead)
 	// Simulate an antecedent surviving into the GC (defensive remap path):
 	// aliasing learnt through reason[5] must resolve to the same new ref.
@@ -110,6 +113,9 @@ func TestGarbageCollectRelocates(t *testing.T) {
 	}
 	if !s.ca.learnt(l) || !s.ca.protect(l) || s.ca.act(l) != 7 {
 		t.Fatal("flags or activity lost in relocation")
+	}
+	if s.ca.glue(l) != 2 || s.ca.tier(l) != tierCore || !s.ca.touched(l) {
+		t.Fatal("glue/tier/touched word lost in relocation")
 	}
 	if got := s.ca.lits(l); len(got) != 2 || got[0] != cnf.NegLit(4) || got[1] != cnf.PosLit(5) {
 		t.Fatalf("learnt clause corrupted: %v", got)
@@ -161,6 +167,7 @@ func TestSolveUnderAggressiveGC(t *testing.T) {
 		if r.Status == StatusSat && !cnf.Assignment(r.Model).Satisfies(f) {
 			t.Fatalf("iter %d: bad model", iter)
 		}
+		checkInvariants(t, s)
 	}
 }
 

@@ -375,3 +375,70 @@ func TestStrategy3MatchesNaive(t *testing.T) {
 		t.Fatalf("naive=%d(%d) opt=%d(%d)", nv, naive.varAct[nv], ov, opt3.varAct[ov])
 	}
 }
+
+// TestPhaseColdStartFallsBackToNbTwo: a variable that has never been
+// assigned has no saved phase, so a phase-saving decision must fall back
+// to the paper's §7 nb_two cost function. Binary clauses (1∨2) and (1∨3)
+// give nb_two(x1) > nb_two(¬x1), so the cold-start decision sets x1 to 0.
+func TestPhaseColdStartFallsBackToNbTwo(t *testing.T) {
+	o := DefaultOptions()
+	o.PhaseSaving = true
+	s := New(o)
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(1, 3))
+	s.varAct[1] = 100 // make x1 the global pick
+	if got := s.decide(); got != cnf.NegLit(1) {
+		t.Fatalf("cold-start decision = %v, want %v (nb_two fallback)", got, cnf.NegLit(1))
+	}
+}
+
+// TestPhaseSavingRepicksAfterRestart: once a variable has been assigned,
+// a restart must not forget its polarity — the next decision on it
+// re-picks the saved phase, overriding what nb_two would choose.
+func TestPhaseSavingRepicksAfterRestart(t *testing.T) {
+	o := DefaultOptions()
+	o.PhaseSaving = true
+	s := New(o)
+	s.AddClause(cnf.NewClause(1, 2))
+	s.AddClause(cnf.NewClause(1, 3))
+	s.varAct[1] = 100
+	// Assign x1 = true — the opposite of the nb_two cold-start choice — so
+	// the re-pick below can only come from the saved phase.
+	s.newDecisionLevel()
+	s.enqueue(cnf.PosLit(1), refUndef)
+	if s.propagate() != refUndef {
+		t.Fatal("unexpected conflict")
+	}
+	s.restart() // backtracks to level 0, saving phases on the way down
+	if s.value(cnf.PosLit(1)) != lUndef {
+		t.Fatal("restart left x1 assigned")
+	}
+	if got := s.decide(); got != cnf.PosLit(1) {
+		t.Fatalf("post-restart decision = %v, want saved phase %v", got, cnf.PosLit(1))
+	}
+	// The same state without phase saving keeps the nb_two choice.
+	s.opt.PhaseSaving = false
+	if got := s.decide(); got != cnf.NegLit(1) {
+		t.Fatalf("phase saving off: decision = %v, want %v", got, cnf.NegLit(1))
+	}
+}
+
+// TestPhaseSavingTopClauseDecision: saved phases also override the
+// lit-activity polarity for decisions made on the current top clause.
+func TestPhaseSavingTopClauseDecision(t *testing.T) {
+	o := DefaultOptions()
+	o.PhaseSaving = true
+	s := New(o)
+	s.AddClause(cnf.NewClause(1, 2, 3))
+	// An unsatisfied learnt clause makes (x4 ∨ x5) the current top clause.
+	c := mkLearnt(s, 4, 2, 0)
+	s.varAct[4] = 50
+	// Saved phase: x4 was last false.
+	s.phase[4] = lFalse
+	if top, _ := s.currentTopClause(); top != c {
+		t.Fatalf("top clause = %d, want %d", top, c)
+	}
+	if got := s.decide(); got != cnf.NegLit(4) {
+		t.Fatalf("top-clause decision = %v, want saved phase %v", got, cnf.NegLit(4))
+	}
+}

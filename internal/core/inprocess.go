@@ -76,6 +76,9 @@ func (s *Solver) inprocess() {
 	// clause antecedents; drop the refs so tombstones cannot be resurrected
 	// by the next GC.
 	s.clearLevel0Reasons()
+	// Subsumption and vivification free and replace learnt clauses without
+	// touching the tier gauges; re-derive them from the arena walk.
+	s.recountTiers()
 }
 
 // dropDeleted filters tombstoned refs out of a clause list in place.
@@ -228,6 +231,9 @@ func (s *Solver) strengthenInPlace(w *inpClause, drop cnf.Lit) {
 	}
 	s.ca.shrink(c, len(out))
 	s.ca.setSatCache(c, cnf.LitUndef)
+	if s.ca.learnt(c) && len(out) >= 2 {
+		s.refreshTierAfterShrink(c)
+	}
 	w.sig = cnf.Clause(out).Signature()
 	s.stats.StrengthenedLits++
 	s.proofShrink(out, s.inpSnap)
@@ -323,6 +329,7 @@ func (s *Solver) vivifyClause(i int) bool {
 	s.stats.VivifiedClauses++
 	s.proofShrink(keep, lits)
 	act, prot := s.ca.act(c), s.ca.protect(c)
+	glue, tier, touch := s.ca.glue(c), s.ca.tier(c), s.ca.touched(c)
 	s.detach(c)
 	s.ca.free(c)
 	switch len(keep) {
@@ -349,6 +356,15 @@ func (s *Solver) vivifyClause(i int) bool {
 		if prot {
 			s.ca.setProtect(nc)
 		}
+		// The vivified clause keeps its identity — glue, tier, touch mark —
+		// and refreshTierAfterShrink clamps the glue to the new length and
+		// promotes if the shrink earns it.
+		s.ca.setGlue(nc, glue)
+		s.ca.setTier(nc, tier)
+		if touch {
+			s.ca.setTouched(nc)
+		}
+		s.refreshTierAfterShrink(nc)
 		s.attach(nc)
 		s.learnts[i] = nc
 	}

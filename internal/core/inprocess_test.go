@@ -125,6 +125,8 @@ func TestVivifyDropsImpliedFalseLiteral(t *testing.T) {
 	if s.stats.VivifiedClauses != 1 {
 		t.Fatalf("VivifiedClauses = %d, want 1", s.stats.VivifiedClauses)
 	}
+	s.recountTiers() // vivifyPass alone skips inprocess()'s closing recount
+	checkInvariants(t, s)
 }
 
 func TestVivifyConflictTruncatesClause(t *testing.T) {
@@ -147,6 +149,8 @@ func TestVivifyConflictTruncatesClause(t *testing.T) {
 	if s.decisionLevel() != 0 {
 		t.Fatalf("vivification left decision level %d", s.decisionLevel())
 	}
+	s.recountTiers()
+	checkInvariants(t, s)
 }
 
 // aggressiveInprocessOptions triggers every pass at every restart, with
@@ -216,4 +220,5 @@ func TestInprocessKeepsSolverReusable(t *testing.T) {
 	if r.Status != StatusUnsat {
 		t.Fatalf("assuming 1,2 after adding (-3 -2): %v", r.Status)
 	}
+	checkInvariants(t, s2)
 }

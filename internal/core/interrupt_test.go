@@ -99,7 +99,7 @@ func TestStopReasonStrings(t *testing.T) {
 func TestExportHookSeesShortLearnts(t *testing.T) {
 	var got [][]cnf.Lit
 	s := New(DefaultOptions())
-	s.SetLearntExport(8, func(lits []cnf.Lit) { got = append(got, lits) })
+	s.SetLearntExport(8, func(lits []cnf.Lit, glue int) { got = append(got, lits) })
 	s.AddFormula(pigeonhole(6))
 	r := s.Solve()
 	if r.Status != StatusUnsat {
@@ -124,7 +124,7 @@ func TestImportImpliedClause(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddClause(cnf.NewClause(1, 2))
 	s.AddClause(cnf.NewClause(-1, 3))
-	s.Import([]cnf.Lit{cnf.FromDimacs(2), cnf.FromDimacs(3)}) // the resolvent
+	s.Import([]cnf.Lit{cnf.FromDimacs(2), cnf.FromDimacs(3)}, 0) // the resolvent
 	r := s.Solve()
 	if r.Status != StatusSat {
 		t.Fatalf("status = %v", r.Status)
@@ -145,7 +145,7 @@ func TestImportImpliedClause(t *testing.T) {
 func TestImportUnitConflict(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddClause(cnf.NewClause(1))
-	s.Import([]cnf.Lit{cnf.FromDimacs(-1)})
+	s.Import([]cnf.Lit{cnf.FromDimacs(-1)}, 0)
 	if r := s.Solve(); r.Status != StatusUnsat {
 		t.Fatalf("status = %v, want unsat", r.Status)
 	}
@@ -157,7 +157,7 @@ func TestImportDroppedUnderProofLogging(t *testing.T) {
 	s := New(DefaultOptions())
 	s.SetProofWriter(&strings.Builder{})
 	s.AddClause(cnf.NewClause(1, 2))
-	s.Import([]cnf.Lit{cnf.FromDimacs(1)})
+	s.Import([]cnf.Lit{cnf.FromDimacs(1)}, 0)
 	r := s.Solve()
 	if r.Status != StatusSat {
 		t.Fatalf("status = %v", r.Status)

@@ -70,6 +70,14 @@ const (
 	ReduceLimitedKeeping
 	// ReduceNone never removes learnt clauses (memory permitting).
 	ReduceNone
+	// ReduceTiered is the glue-aware three-tier database (post-BerkMin;
+	// Glucose/CaDiCaL lineage): CORE clauses (glue ≤ CoreGlue, and every
+	// binary) are never deleted, TIER2 clauses (glue ≤ Tier2Glue) are
+	// demoted to LOCAL after a full inter-cleaning interval without
+	// participating in a conflict, and the LOCAL tier is activity-sorted
+	// with its worst half deleted once the database outgrows a growing
+	// threshold (TieredFirstReduce/TieredReduceInc).
+	ReduceTiered
 )
 
 // RestartPolicy selects when the current search tree is abandoned.
@@ -120,6 +128,24 @@ type Options struct {
 	OldThresholdInc  int64 // threshold increment per cleaning
 	LimitedKeepLen   int   // ReduceLimitedKeeping: remove clauses longer than this
 	MarkPeriod       int   // permanently protect one clause every N restarts (0 = off; the paper's partial anti-looping scheme protects only the topmost clause)
+
+	// Glue-aware three-tier database (ReduceTiered). Glue (LBD) is computed
+	// for every learnt clause regardless of mode — it feeds Stats.GlueSum,
+	// glue-based clause sharing and restart postponement — but only
+	// ReduceTiered uses it for retention.
+	CoreGlue          int // glue ≤ CoreGlue → CORE, kept forever (default 2)
+	Tier2Glue         int // glue ≤ Tier2Glue → TIER2, demoted when unused for a whole inter-cleaning interval (default 6)
+	TieredFirstReduce int // first LOCAL halving triggers at this many learnt clauses (default 2000)
+	TieredReduceInc   int // trigger growth after each halving (default 300)
+
+	// RestartPostpone delays a due restart (any policy) while the search is
+	// learning better-than-usual clauses: when the average glue of the last
+	// PostponeWindow learnt clauses is below PostponeFactor times the
+	// lifetime average, the conflict counter is re-armed instead of
+	// restarting (the inverse of Glucose's forced-restart rule).
+	RestartPostpone bool
+	PostponeFactor  float64 // postpone while recentAvg < factor · lifetimeAvg (default 0.8)
+	PostponeWindow  int     // recent-glue window in conflicts (default 50)
 
 	// Learnt-clause minimization (post-BerkMin technique; off by default,
 	// available as an extension ablation).
@@ -218,6 +244,22 @@ func InprocessingOptions() Options {
 	return o
 }
 
+// TieredOptions is the modern clause-database configuration (extension
+// measured by `satbench -ablation tiereddb`): the glue-aware three-tier
+// learnt database, Luby restarts with glue-based postponement, and phase
+// saving over the paper's §7 polarity heuristics. The rest of the engine
+// (decision making, activities, aging) stays BerkMin's.
+func TieredOptions() Options {
+	o := DefaultOptions()
+	o.Reduce = ReduceTiered
+	o.Restart = RestartLuby
+	o.RestartFirst = 100
+	o.RestartJitter = 0
+	o.RestartPostpone = true
+	o.PhaseSaving = true
+	return o
+}
+
 // LessSensitivityOptions is Table 1's ablation: Chaff-style variable
 // activity (only the learnt clause's variables are bumped).
 func LessSensitivityOptions() Options {
@@ -311,6 +353,24 @@ func (o *Options) normalize() {
 	}
 	if o.LimitedKeepLen <= 0 {
 		o.LimitedKeepLen = 42
+	}
+	if o.CoreGlue <= 0 {
+		o.CoreGlue = 2
+	}
+	if o.Tier2Glue <= o.CoreGlue {
+		o.Tier2Glue = o.CoreGlue + 4
+	}
+	if o.TieredFirstReduce <= 0 {
+		o.TieredFirstReduce = 2000
+	}
+	if o.TieredReduceInc <= 0 {
+		o.TieredReduceInc = 300
+	}
+	if o.PostponeFactor <= 0 || o.PostponeFactor >= 1 {
+		o.PostponeFactor = 0.8
+	}
+	if o.PostponeWindow <= 0 {
+		o.PostponeWindow = 50
 	}
 	if o.InprocessPeriod < 0 {
 		o.InprocessPeriod = 0

@@ -1,6 +1,11 @@
 package core
 
-import "berkmin/internal/cnf"
+import (
+	"cmp"
+	"slices"
+
+	"berkmin/internal/cnf"
+)
 
 // reduceDB is BerkMin's clause-database management (§8), run after the
 // current search tree is abandoned. It (1) simplifies the database under
@@ -33,6 +38,8 @@ func (s *Solver) reduceDB() {
 		// keep everything
 	case ReduceLimitedKeeping:
 		s.reduceLimitedKeeping()
+	case ReduceTiered:
+		s.reduceTiered()
 	default:
 		s.reduceBerkMin()
 	}
@@ -50,6 +57,10 @@ func (s *Solver) reduceDB() {
 	s.maybeGC()
 	s.rebuildWatches()
 	s.rebuildBinOcc()
+	// Every structural change above went through this pass, so one arena
+	// walk makes the tier gauges authoritative again (simplification and
+	// subsumption free learnt clauses without touching the gauges).
+	s.recountTiers()
 	if confl := s.propagate(); confl != refUndef {
 		s.ok = false
 		s.proofEmpty()
@@ -120,6 +131,9 @@ clauses:
 			}
 			s.ca.shrink(c, len(out))
 			s.ca.setSatCache(c, cnf.LitUndef)
+			if s.ca.learnt(c) && len(out) >= 2 {
+				s.refreshTierAfterShrink(c)
+			}
 			switch len(out) {
 			case 1:
 				s.ca.free(c) // retained as a level-0 assignment, not a clause
@@ -184,6 +198,153 @@ func (s *Solver) reduceBerkMin() {
 	// Long clauses that were active once but stopped participating in
 	// conflicts must eventually go: the old-clause threshold grows.
 	s.oldThreshold += s.opt.OldThresholdInc
+}
+
+// tierFor maps a learnt clause's glue and size to its retention tier.
+// Binary clauses are CORE regardless of stored glue: the binary tier keeps
+// them forever anyway (attach/detach), so the tier bits must agree.
+func (s *Solver) tierFor(glue, size int) clauseTier {
+	switch {
+	case size <= 2 || glue <= s.opt.CoreGlue:
+		return tierCore
+	case glue <= s.opt.Tier2Glue:
+		return tierMid
+	default:
+		return tierLocal
+	}
+}
+
+// tierGaugeAdd adjusts one tier-size gauge.
+func (s *Solver) tierGaugeAdd(t clauseTier, d int) {
+	switch t {
+	case tierCore:
+		s.stats.CoreLearnts += d
+	case tierMid:
+		s.stats.Tier2Learnts += d
+	default:
+		s.stats.LocalLearnts += d
+	}
+}
+
+// promoteTier moves a clause to the tier its improved glue earns. Movement
+// is monotone: glue only ever shrinks, so a clause is never demoted here
+// (TIER2→LOCAL demotion for inactivity is reduceTiered's business).
+func (s *Solver) promoteTier(c clauseRef, glue int) {
+	nt := s.tierFor(glue, s.ca.size(c))
+	if t := s.ca.tier(c); nt > t {
+		s.tierGaugeAdd(t, -1)
+		s.tierGaugeAdd(nt, 1)
+		s.ca.setTier(c, nt)
+		s.stats.TierPromotions++
+	}
+}
+
+// refreshTierAfterShrink re-derives a learnt clause's glue bound and tier
+// after literals were removed in place (level-0 stripping, strengthening,
+// vivification): the glue can never exceed the clause size, and a clause
+// cut down to two literals joins the permanent binary tier.
+func (s *Solver) refreshTierAfterShrink(c clauseRef) {
+	g := s.ca.glue(c)
+	if n := s.ca.size(c); g > n {
+		g = n
+		s.ca.setGlue(c, g)
+	}
+	s.promoteTier(c, g)
+}
+
+// recountTiers recomputes the tier-size gauges from an arena walk. The
+// gauges are maintained incrementally on the hot paths (record, analysis
+// promotions, tiered cleaning); every database pass that can free or
+// shrink learnt clauses through other routes ends here, making the walk
+// the authoritative count the invariant tests compare against.
+func (s *Solver) recountTiers() {
+	core, mid, local := 0, 0, 0
+	for _, c := range s.learnts {
+		switch s.ca.tier(c) {
+		case tierCore:
+			core++
+		case tierMid:
+			mid++
+		default:
+			local++
+		}
+	}
+	s.stats.CoreLearnts, s.stats.Tier2Learnts, s.stats.LocalLearnts = core, mid, local
+}
+
+// reduceTiered is the glue-aware three-tier database management
+// (ReduceTiered; Glucose/CaDiCaL lineage). CORE clauses (glue ≤ CoreGlue,
+// and every binary) are permanent, like the retained binaries of the
+// propagation tier. TIER2 clauses stay while they keep participating in
+// conflicts; one full inter-cleaning interval without a touch demotes them
+// to LOCAL. The LOCAL tier is sorted by activity (glue breaking ties, then
+// age) and its passive half is deleted. The whole pass is gated by a
+// growing database-size target, so cheap early restarts don't thrash the
+// database; the §8 anti-looping top clause and marked clauses survive
+// regardless, keeping the completeness argument intact across modes.
+func (s *Solver) reduceTiered() {
+	m := len(s.learnts)
+	if m == 0 || m < s.tieredTarget {
+		return
+	}
+	s.tieredTarget += s.opt.TieredReduceInc
+
+	// Pass 1: clear the touch marks, demote TIER2 clauses that sat the
+	// whole interval out, and collect the LOCAL deletion candidates.
+	cand := s.tierCand[:0]
+	for i, c := range s.learnts {
+		switch s.ca.tier(c) {
+		case tierCore:
+			continue // permanent; touch marks don't matter
+		case tierMid:
+			if s.ca.touched(c) {
+				s.ca.clearTouched(c)
+				continue
+			}
+			s.ca.setTier(c, tierLocal)
+			s.tierGaugeAdd(tierMid, -1)
+			s.tierGaugeAdd(tierLocal, 1)
+			s.stats.TierDemotions++
+			// A freshly demoted clause gets one full LOCAL interval before
+			// it can be deleted: its (low) activity would otherwise sort it
+			// straight into the passive half of this very pass, collapsing
+			// "demotion" into a delayed delete.
+			continue
+		default:
+			s.ca.clearTouched(c)
+		}
+		cand = append(cand, int32(i))
+	}
+	s.tierCand = cand
+	if len(cand) < 2 {
+		return
+	}
+
+	// Pass 2: delete the passive half — lowest activity first, larger glue
+	// first on equal activity, older first beyond that. The §8 anti-looping
+	// top clause and marked clauses consume their slot of the deletion
+	// quota but survive, keeping the completeness argument intact.
+	slices.SortFunc(cand, func(a, b int32) int {
+		x, y := s.learnts[a], s.learnts[b]
+		if c := cmp.Compare(s.ca.act(x), s.ca.act(y)); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(s.ca.glue(y), s.ca.glue(x)); c != 0 {
+			return c
+		}
+		return cmp.Compare(a, b)
+	})
+	for _, i := range cand[:len(cand)/2] {
+		c := s.learnts[i]
+		if int(i) == m-1 || s.ca.protect(c) {
+			continue
+		}
+		s.stats.DeletedTotal++
+		s.tierGaugeAdd(tierLocal, -1)
+		s.proofDelete(s.ca.lits(c))
+		s.ca.free(c)
+	}
+	s.learnts = dropDeleted(&s.ca, s.learnts)
 }
 
 // reduceLimitedKeeping simulates GRASP's (and Chaff's) database management

@@ -187,6 +187,12 @@ func TestSimplifyLevel0(t *testing.T) {
 	if s.stats.SimplifiedSat != 2 || s.stats.StrippedLits != 1 {
 		t.Fatalf("stats: sat=%d stripped=%d", s.stats.SimplifiedSat, s.stats.StrippedLits)
 	}
+	// simplifySlice leaves the watch lists stale by design; the rebuild
+	// restores the state the invariant harness pins.
+	s.rebuildWatches()
+	s.rebuildBinOcc()
+	s.recountTiers()
+	checkInvariants(t, s)
 }
 
 // TestSimplifyLevel0DetectsUnsat: stripping to an empty clause flags
@@ -220,6 +226,7 @@ func TestReduceRebuildsWatches(t *testing.T) {
 	if s.stats.Restarts == 0 {
 		t.Fatal("expected restarts")
 	}
+	checkInvariants(t, s)
 }
 
 // TestPeakLiveClausesTracksGrowth checks Table 9's peak accounting.

@@ -22,6 +22,48 @@ func (s *Solver) restart() {
 	s.restartLimit = s.nextRestartLimit()
 }
 
+// maxPostponeStreak bounds consecutive restart postponements so database
+// management (which only runs at restarts) can never be starved forever by
+// a long streak of low-glue conflicts.
+const maxPostponeStreak = 16
+
+// noteGlue records a freshly learnt clause's glue for the postponement
+// rule: the ring holds the last PostponeWindow glues, and the lifetime
+// totals live in Stats (GlueSum / LearntTotal).
+func (s *Solver) noteGlue(glue int) {
+	s.stats.GlueSum += uint64(glue)
+	if s.recentGlue == nil {
+		return
+	}
+	s.recentGlueSum += int64(glue) - int64(s.recentGlue[s.recentGluePos])
+	s.recentGlue[s.recentGluePos] = int32(glue)
+	s.recentGluePos++
+	if s.recentGluePos == len(s.recentGlue) {
+		s.recentGluePos = 0
+	}
+	if s.recentGlueN < len(s.recentGlue) {
+		s.recentGlueN++
+	}
+}
+
+// postponeRestart reports whether a due restart should be re-armed instead
+// of taken: the window must be full and its average glue must run below
+// PostponeFactor times the lifetime average — the search is currently
+// producing better-than-usual clauses, so abandoning the descent would
+// throw that locality away. The streak cap guarantees restarts (and the
+// database management they carry) still happen.
+func (s *Solver) postponeRestart() bool {
+	if !s.opt.RestartPostpone || s.postponeStreak >= maxPostponeStreak {
+		return false
+	}
+	if s.recentGlueN < len(s.recentGlue) || s.stats.LearntTotal == 0 {
+		return false
+	}
+	recent := float64(s.recentGlueSum) / float64(s.recentGlueN)
+	lifetime := float64(s.stats.GlueSum) / float64(s.stats.LearntTotal)
+	return recent < s.opt.PostponeFactor*lifetime
+}
+
 // nextRestartLimit computes the conflict interval until the next restart
 // according to the configured policy, advancing the policy's position in
 // its sequence (geometric growth, Luby index).

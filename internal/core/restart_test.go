@@ -15,6 +15,41 @@ func TestLubySequence(t *testing.T) {
 	}
 }
 
+// lubyRef is the textbook recursive definition: luby(i) = 2^(k-1) when
+// i = 2^k - 1, else luby(i - 2^(k-1) + 1) for the largest k with
+// 2^(k-1) - 1 < i ≤ 2^k - 1.
+func lubyRef(i int) int {
+	k := 1
+	for (1<<k)-1 < i {
+		k++
+	}
+	if (1<<k)-1 == i {
+		return 1 << (k - 1)
+	}
+	return lubyRef(i - (1<<(k-1) - 1))
+}
+
+// TestLubyGoldenValues pins the sequence two ways: against the golden
+// values of the first two full subsequences (through 2^5-1 = 31, ending in
+// the first 16), and against the recursive reference definition for the
+// first 500 indices.
+func TestLubyGoldenValues(t *testing.T) {
+	golden := []int{
+		1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+		1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 16,
+	}
+	for i, w := range golden {
+		if got := luby(i + 1); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	for i := 1; i <= 500; i++ {
+		if got, want := luby(i), lubyRef(i); got != want {
+			t.Fatalf("luby(%d) = %d, reference = %d", i, got, want)
+		}
+	}
+}
+
 func TestFixedRestartJitterBounds(t *testing.T) {
 	o := DefaultOptions()
 	o.RestartFirst = 100
@@ -167,6 +202,85 @@ func TestRestartKeepsLevel0Assignments(t *testing.T) {
 	if s.stats.Restarts != 1 {
 		t.Fatalf("restarts = %d", s.stats.Restarts)
 	}
+}
+
+// TestPostponeRestartRule unit-tests the glue-based postponement decision:
+// a full window of better-than-lifetime glues postpones, a window at or
+// above the lifetime average does not, an unfilled window never postpones,
+// and the consecutive-postponement cap forces a restart through.
+func TestPostponeRestartRule(t *testing.T) {
+	o := DefaultOptions()
+	o.RestartPostpone = true
+	o.PostponeWindow = 4
+	o.PostponeFactor = 0.8
+	s := New(o)
+	if s.postponeRestart() {
+		t.Fatal("empty window must not postpone")
+	}
+	// Lifetime average glue: 10 over 100 clauses.
+	s.stats.LearntTotal = 100
+	s.stats.GlueSum = 1000
+	for i := 0; i < 3; i++ {
+		s.noteGlue(2)
+	}
+	if s.postponeRestart() {
+		t.Fatal("window of 3/4 must not postpone")
+	}
+	s.noteGlue(2) // recent avg 2 < 0.8·10
+	if !s.postponeRestart() {
+		t.Fatal("recent avg 2 vs lifetime 10 must postpone")
+	}
+	s.postponeStreak = maxPostponeStreak
+	if s.postponeRestart() {
+		t.Fatal("streak cap must force the restart through")
+	}
+	s.postponeStreak = 0
+	// Fill the ring with glues at the lifetime average: no postponement.
+	for i := 0; i < 4; i++ {
+		s.noteGlue(10)
+	}
+	if s.postponeRestart() {
+		t.Fatal("recent avg at the lifetime average must not postpone")
+	}
+	// noteGlue also keeps GlueSum in step.
+	if s.stats.GlueSum != 1000+3*2+2+4*10 {
+		t.Fatalf("GlueSum = %d after noteGlue calls", s.stats.GlueSum)
+	}
+}
+
+// TestPostponeDisabledIsFree: without RestartPostpone the ring is not even
+// allocated and the rule always says restart.
+func TestPostponeDisabledIsFree(t *testing.T) {
+	s := New(DefaultOptions())
+	if s.recentGlue != nil {
+		t.Fatal("postponement ring allocated with the feature off")
+	}
+	s.stats.LearntTotal = 10
+	s.stats.GlueSum = 100
+	if s.postponeRestart() {
+		t.Fatal("postponement fired while disabled")
+	}
+}
+
+// TestPostponedRestartsCounted runs the full tiered configuration on an
+// instance long enough to fill the window and checks the accounting: every
+// due restart either restarted or was counted as postponed, and the streak
+// cap kept real restarts (and their database management) coming.
+func TestPostponedRestartsCounted(t *testing.T) {
+	o := TieredOptions()
+	o.RestartFirst = 4 // due often, so the postponement rule gets exercised
+	s := New(o)
+	s.AddFormula(pigeonhole(7))
+	if r := s.Solve(); r.Status != StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if s.stats.Restarts == 0 {
+		t.Fatal("postponement starved restarts entirely")
+	}
+	t.Logf("restarts=%d postponed=%d avg-glue=%.2f",
+		s.stats.Restarts, s.stats.PostponedRestarts,
+		float64(s.stats.GlueSum)/float64(s.stats.LearntTotal))
+	checkInvariants(t, s)
 }
 
 func TestMarkPeriodProtectsClauses(t *testing.T) {

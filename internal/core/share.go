@@ -12,43 +12,69 @@ import "berkmin/internal/cnf"
 // simplification every remaining literal is unassigned).
 
 // SetLearntExport installs a hook that observes every learnt clause of at
-// most maxLen literals, including units. The slice passed to fn is a fresh
-// copy that fn may retain; fn runs on the solving goroutine, so it must be
-// fast and must not call back into this solver. A nil fn (or maxLen <= 0)
-// disables exporting.
-func (s *Solver) SetLearntExport(maxLen int, fn func(lits []cnf.Lit)) {
+// most maxLen literals, including units — and, when a glue cap is set via
+// SetLearntExportGlue, every clause of glue at most that cap regardless of
+// length (a long low-glue clause prunes like a short one). fn receives the
+// clause's glue alongside a fresh copy of the literals it may retain; fn
+// runs on the solving goroutine, so it must be fast and must not call back
+// into this solver. A nil fn disables exporting.
+func (s *Solver) SetLearntExport(maxLen int, fn func(lits []cnf.Lit, glue int)) {
 	s.exportMaxLen = maxLen
 	s.exportFn = fn
 }
 
-// exportLearnt hands a just-learnt clause to the export hook. The copy is
-// mandatory: learnt slices are aliased by the live clause, whose literal
-// order is permuted by propagation.
-func (s *Solver) exportLearnt(lits []cnf.Lit) {
-	if s.exportFn == nil || s.exportMaxLen <= 0 || len(lits) > s.exportMaxLen {
+// SetLearntExportGlue widens the export filter: clauses with glue ≤
+// maxGlue are exported even when longer than the SetLearntExport length
+// cap (0 disables the glue route).
+func (s *Solver) SetLearntExportGlue(maxGlue int) { s.exportMaxGlue = maxGlue }
+
+// exportLearnt hands a just-learnt clause to the export hook when it
+// passes the length filter or the glue filter. The copy is mandatory:
+// learnt slices are aliased by the live clause, whose literal order is
+// permuted by propagation.
+func (s *Solver) exportLearnt(lits []cnf.Lit, glue int) {
+	if s.exportFn == nil {
+		return
+	}
+	byLen := s.exportMaxLen > 0 && len(lits) <= s.exportMaxLen
+	byGlue := s.exportMaxGlue > 0 && glue <= s.exportMaxGlue
+	if !byLen && !byGlue {
 		return
 	}
 	s.stats.ExportedClauses++
-	s.exportFn(append([]cnf.Lit(nil), lits...))
+	s.exportFn(append([]cnf.Lit(nil), lits...), glue)
+}
+
+// importedClause is one queued foreign clause with the glue its exporter
+// measured (an upper bound here — this solver's trail may realize fewer
+// levels), so a tiered importer can slot it into the right retention tier.
+type importedClause struct {
+	lits []cnf.Lit
+	glue int
 }
 
 // Import queues a clause learnt elsewhere for integration into this
-// solver's database. It is safe to call from any goroutine, including while
-// Solve runs; the clause is picked up the next time the search passes
-// decision level 0 (every restart, at the latest).
+// solver's database, with the glue the exporting solver measured (pass 0
+// when unknown — the clause length is used as the pessimistic bound). It
+// is safe to call from any goroutine, including while Solve runs; the
+// clause is picked up the next time the search passes decision level 0
+// (every restart, at the latest).
 //
 // The caller guarantees the clause is a logical consequence of the formula
 // this solver is working on — e.g. a clause learnt by another CDCL solver
 // on the same input. Imports are silently dropped when DRUP proof logging
 // is enabled: a foreign clause need not be RUP with respect to this
 // solver's database, so logging it would corrupt the proof.
-func (s *Solver) Import(lits []cnf.Lit) {
+func (s *Solver) Import(lits []cnf.Lit, glue int) {
 	if s.proof != nil || len(lits) == 0 {
 		return
 	}
+	if glue <= 0 || glue > len(lits) {
+		glue = len(lits)
+	}
 	cp := append([]cnf.Lit(nil), lits...)
 	s.importMu.Lock()
-	s.importQ = append(s.importQ, cp)
+	s.importQ = append(s.importQ, importedClause{cp, glue})
 	s.importPending.Store(1)
 	s.importMu.Unlock()
 }
@@ -63,7 +89,8 @@ func (s *Solver) drainImports() bool {
 	s.importPending.Store(0)
 	s.importMu.Unlock()
 
-	for _, lits := range queue {
+	for _, item := range queue {
+		lits := item.lits
 		if v := int(cnf.Clause(lits).MaxVar()); v > s.nVars {
 			s.ensureVars(v)
 		}
@@ -100,8 +127,19 @@ func (s *Solver) drainImports() bool {
 			// any other live clause at the next GC. attach routes by size,
 			// so an imported binary clause lands directly in the fast
 			// implication tier (portfolio sharing favors short clauses —
-			// binary imports are the common case).
+			// binary imports are the common case). The exporter's glue
+			// (capped by the simplified length) places the clause in its
+			// retention tier like a native learnt clause.
 			c := s.ca.alloc(out, true)
+			glue := item.glue
+			if glue > len(out) {
+				glue = len(out)
+			}
+			s.ca.setGlue(c, glue)
+			t := s.tierFor(glue, len(out))
+			s.ca.setTier(c, t)
+			s.ca.setTouched(c)
+			s.tierGaugeAdd(t, 1)
 			s.learnts = append(s.learnts, c)
 			s.attach(c)
 			s.notePeak()

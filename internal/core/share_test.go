@@ -25,7 +25,7 @@ func TestImportWhileTombstonesAwaitGC(t *testing.T) {
 		t.Fatal("setup failed: nothing tombstoned")
 	}
 
-	s.Import([]cnf.Lit{cnf.NegLit(2), cnf.NegLit(3)})
+	s.Import([]cnf.Lit{cnf.NegLit(2), cnf.NegLit(3)}, 0)
 	if !s.drainImports() {
 		t.Fatal("import exposed spurious unsatisfiability")
 	}
@@ -73,8 +73,8 @@ func TestImportDuplicateOfArenaClause(t *testing.T) {
 	s := New(DefaultOptions())
 	s.AddClause(cnf.NewClause(1, 2, 3))
 	s.AddClause(cnf.NewClause(-1, -2))
-	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)})
-	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}) // twice
+	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, 0)
+	s.Import([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, 0) // twice
 	if !s.drainImports() {
 		t.Fatal("duplicate import exposed spurious unsatisfiability")
 	}
@@ -114,7 +114,7 @@ func TestImportUnitWithTombstonesPending(t *testing.T) {
 	if s.ca.wasted == 0 {
 		t.Fatal("setup failed: nothing tombstoned")
 	}
-	s.Import([]cnf.Lit{cnf.NegLit(1)})
+	s.Import([]cnf.Lit{cnf.NegLit(1)}, 0)
 	if !s.drainImports() {
 		t.Fatal("unit import failed")
 	}

@@ -98,6 +98,25 @@ type Solver struct {
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
 
+	// Glue (LBD) computation scratch: glueSeen[level] == glueStamp marks a
+	// decision level already counted in the current computeGlue call, so
+	// one glue computation is a single pass with no clearing (analyze.go).
+	glueSeen  []uint32
+	glueStamp uint32
+	lastGlue  int // glue of the most recently analyzed learnt clause
+
+	// Restart postponement (Options.RestartPostpone): ring buffer of the
+	// last PostponeWindow learnt-clause glues, compared against the
+	// lifetime average (Stats.GlueSum / Stats.LearntTotal).
+	recentGlue     []int32
+	recentGluePos  int
+	recentGlueSum  int64
+	recentGlueN    int
+	postponeStreak int // consecutive postponements, capped by maxPostponeStreak
+
+	tieredTarget int     // learnt count triggering the next LOCAL halving (ReduceTiered)
+	tierCand     []int32 // reduceTiered candidate scratch, reused across cleanings
+
 	// Inprocessing scratch (inprocess.go), reused so steady-state passes
 	// allocate nothing: work list, per-literal occurrence index, size
 	// order, vivification literal buffers, proof-deletion snapshot.
@@ -123,10 +142,11 @@ type Solver struct {
 	// mutex; everything else remains single-threaded.
 	interrupted   atomic.Bool
 	importMu      sync.Mutex
-	importQ       [][]cnf.Lit
+	importQ       []importedClause
 	importPending atomic.Int32
 	exportMaxLen  int
-	exportFn      func([]cnf.Lit)
+	exportMaxGlue int
+	exportFn      func(lits []cnf.Lit, glue int)
 
 	ok             bool // false once UNSAT is established at level 0
 	sinceTimeCheck uint64
@@ -158,6 +178,10 @@ func New(opt Options) *Solver {
 	s.order.act = &s.varAct
 	s.geomLimit = float64(opt.RestartFirst)
 	s.restartLimit = s.nextRestartLimit()
+	s.tieredTarget = opt.TieredFirstReduce
+	if opt.RestartPostpone {
+		s.recentGlue = make([]int32, opt.PostponeWindow)
+	}
 	return s
 }
 
@@ -186,6 +210,10 @@ func (s *Solver) ensureVars(n int) {
 		s.varAct = append(s.varAct, 0)
 		s.seen = append(s.seen, false)
 		s.phase = append(s.phase, lUndef)
+		// glueSeen is indexed by decision level, which never exceeds the
+		// variable count; growing it in lockstep keeps computeGlue
+		// allocation-free.
+		s.glueSeen = append(s.glueSeen, 0)
 	}
 	if s.opt.OptimizedGlobalPick {
 		for v := old + 1; v <= n; v++ {
@@ -343,6 +371,11 @@ func (s *Solver) enqueueBin(l, from cnf.Lit) {
 // newDecisionLevel opens a new decision level.
 func (s *Solver) newDecisionLevel() {
 	s.trailLim = append(s.trailLim, len(s.trail))
+	// Dummy assumption levels can push the decision level past the
+	// variable count; keep the glue scratch (indexed by level) in step.
+	if len(s.glueSeen) <= len(s.trailLim) {
+		s.glueSeen = append(s.glueSeen, 0)
+	}
 }
 
 // cancelUntil undoes every assignment above the given decision level.
@@ -399,6 +432,10 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 	// age every activity — almost immediately.
 	s.sinceRestart = 0
 	s.sinceAging = 0
+	// The postponement streak is per-search heuristic state like the
+	// interval counters: a previous call that ended mid-streak must not
+	// suppress postponement at the start of this one.
+	s.postponeStreak = 0
 	if s.opt.Restart == RestartFixed {
 		// Fixed intervals are positionless: draw a fresh jittered limit.
 		// Geometric and Luby limits keep their current sequence position —
@@ -445,9 +482,18 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 				return s.abort(r)
 			}
 			if s.opt.Restart != RestartNever && int(s.sinceRestart) >= s.restartLimit {
-				s.restart()
-				if !s.ok {
-					return s.finish(StatusUnsat, nil)
+				if s.postponeRestart() {
+					// The recent learnt clauses are unusually good: let the
+					// current descent keep going and re-arm the interval.
+					s.sinceRestart = 0
+					s.postponeStreak++
+					s.stats.PostponedRestarts++
+				} else {
+					s.postponeStreak = 0
+					s.restart()
+					if !s.ok {
+						return s.finish(StatusUnsat, nil)
+					}
 				}
 			}
 			continue

@@ -91,13 +91,37 @@ func (r StopReason) ResourceLimit() bool {
 // the most recent call returned), Runtime (the most recent call's
 // wall-clock) and InitialClauses (the problem-clause count as of the most
 // recent call). BinClauses is a GAUGE: the binary clauses attached right
-// now, not a running total. TestStatsIncrementalSemantics pins this
-// contract.
+// now, not a running total; CoreLearnts, Tier2Learnts and LocalLearnts are
+// gauges the same way (current tier sizes). TestStatsIncrementalSemantics
+// pins this contract.
 type Stats struct {
 	Decisions    uint64
 	Conflicts    uint64
 	Propagations uint64
 	Restarts     uint64
+
+	// PostponedRestarts counts due restarts that were re-armed instead of
+	// taken because the recent learnt-clause glue ran below the lifetime
+	// average (Options.RestartPostpone).
+	PostponedRestarts uint64
+
+	// GlueSum accumulates the glue (LBD) of every learnt clause at learn
+	// time, so GlueSum/LearntTotal is the lifetime average glue the restart
+	// postponement rule compares against.
+	GlueSum uint64
+
+	// Three-tier learnt-database accounting (Options.Reduce ==
+	// ReduceTiered). CoreLearnts/Tier2Learnts/LocalLearnts are GAUGES — the
+	// tier sizes right now, maintained incrementally and recomputed from an
+	// arena walk after every database pass. TierPromotions counts clauses
+	// moved to a better tier by a glue improvement (or a shrink),
+	// TierDemotions counts TIER2 clauses demoted to LOCAL for sitting out a
+	// whole inter-cleaning interval.
+	CoreLearnts    int
+	Tier2Learnts   int
+	LocalLearnts   int
+	TierPromotions uint64
+	TierDemotions  uint64
 
 	// BinPropagations counts assignments produced by the binary implication
 	// tier (a subset of the assignments behind Propagations); BinClauses is

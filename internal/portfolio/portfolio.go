@@ -22,6 +22,11 @@ import (
 // clauses: short clauses prune the most and cost the least to integrate.
 const DefaultShareMaxLen = 8
 
+// DefaultShareMaxGlue is the default glue cap: a long clause whose
+// literals span few decision levels propagates like a short one, so it is
+// worth exchanging even past the length cap.
+const DefaultShareMaxGlue = 4
+
 // Config names one solver configuration of the portfolio.
 type Config struct {
 	Name string
@@ -35,6 +40,10 @@ type Options struct {
 	// ShareMaxLen caps the length of exchanged learnt clauses: 0 means
 	// DefaultShareMaxLen, negative disables sharing entirely.
 	ShareMaxLen int
+	// ShareMaxGlue additionally exchanges clauses of glue (LBD) at most
+	// this, regardless of length: 0 means DefaultShareMaxGlue, negative
+	// disables the glue route (length-only sharing).
+	ShareMaxGlue int
 	// Per-solver resource budgets, as in core.Options. When non-zero they
 	// override the corresponding budget of every member configuration;
 	// when zero, each member keeps the budget set in its own Opt.
@@ -90,9 +99,11 @@ func Variants(n int, baseSeed uint64) []Config {
 	}
 	base := []Config{
 		{"berkmin", core.DefaultOptions()},
+		{"tiered", core.TieredOptions()},
 		{"chaff", core.ChaffOptions()},
 		{"limmat", core.LimmatOptions()},
 		{"berkmin-luby", lubyOptions()},
+		{"tiered-s3", tieredStrategy3Options()},
 		{"berkmin-s3", strategy3Options()},
 		{"berkmin-rand", core.BranchOptions(core.PolarityTakeRand)},
 		{"chaff-phase", chaffPhaseOptions()},
@@ -120,6 +131,12 @@ func lubyOptions() core.Options {
 
 func strategy3Options() core.Options {
 	o := core.DefaultOptions()
+	o.OptimizedGlobalPick = true
+	return o
+}
+
+func tieredStrategy3Options() core.Options {
+	o := core.TieredOptions()
 	o.OptimizedGlobalPick = true
 	return o
 }
@@ -168,7 +185,7 @@ func key(lits []cnf.Lit) string {
 	return string(b)
 }
 
-func (h *hub) publish(from int, lits []cnf.Lit) {
+func (h *hub) publish(from int, lits []cnf.Lit, glue int) {
 	k := key(lits)
 	h.mu.Lock()
 	if _, dup := h.seen[k]; dup {
@@ -182,7 +199,9 @@ func (h *hub) publish(from int, lits []cnf.Lit) {
 	h.mu.Unlock()
 	for i, s := range h.solvers {
 		if i != from {
-			s.Import(lits)
+			// The exporter's glue travels with the clause so a tiered
+			// importer can place it in the right retention tier.
+			s.Import(lits, glue)
 		}
 	}
 }
@@ -221,6 +240,10 @@ func Solve(f *cnf.Formula, opt Options) Result {
 	if shareLen == 0 {
 		shareLen = DefaultShareMaxLen
 	}
+	shareGlue := opt.ShareMaxGlue
+	if shareGlue == 0 {
+		shareGlue = DefaultShareMaxGlue
+	}
 
 	solvers := make([]*core.Solver, n)
 	for i, cfg := range cfgs {
@@ -237,9 +260,12 @@ func Solve(f *cnf.Formula, opt Options) Result {
 		h := newHub(solvers)
 		for i := range solvers {
 			i := i
-			solvers[i].SetLearntExport(shareLen, func(lits []cnf.Lit) {
-				h.publish(i, lits)
+			solvers[i].SetLearntExport(shareLen, func(lits []cnf.Lit, glue int) {
+				h.publish(i, lits, glue)
 			})
+			if shareGlue > 0 {
+				solvers[i].SetLearntExportGlue(shareGlue)
+			}
 		}
 	}
 
