@@ -96,9 +96,13 @@ type Solver struct {
 
 	// Preprocessing state (SetSimplify). When enabled, clauses are held
 	// back from the core engine until the first solve, which preprocesses
-	// the accumulated formula and feeds the core the simplified form.
+	// the accumulated formula and feeds the core the simplified form. The
+	// outcome may be SHARED with sibling solvers derived from one Snapshot,
+	// so all restoration and model reconstruction goes through the
+	// solver-local view, never through the outcome directly.
 	simp         *simplify.Options
 	outcome      *simplify.Outcome
+	view         *simplify.View  // solver-local restored-elimination state over outcome
 	fed          bool            // the core has received its (possibly simplified) input
 	elimIndex    map[cnf.Var]int // eliminated variable -> index into outcome.Elims
 	preSpent     time.Duration   // preprocessing time, charged to the first search's Runtime
@@ -220,6 +224,7 @@ func (s *Solver) preprocess() {
 	// an unbounded simplification; the time spent here is deducted from
 	// the first search so MaxTime stays an end-to-end bound.
 	s.outcome, s.preSpent, s.preRemaining = simplify.Run(s.pristine, opt, s.maxTime, s.core.Interrupted)
+	s.view = s.outcome.NewView()
 	s.elimIndex = make(map[cnf.Var]int, len(s.outcome.Elims))
 	for i, e := range s.outcome.Elims {
 		s.elimIndex[e.V] = i
@@ -239,7 +244,7 @@ func (s *Solver) restore(v cnf.Var) {
 		return
 	}
 	delete(s.elimIndex, v)
-	for _, c := range s.outcome.Restore(i) {
+	for _, c := range s.view.Restore(i) {
 		for _, l := range c {
 			s.restore(l.Var())
 		}
@@ -265,7 +270,7 @@ func (s *Solver) SimplifyOutcome() *SimplifyOutcome { return s.outcome }
 func (s *Solver) finishResult(r Result) Result {
 	if r.Status == StatusSat {
 		if s.outcome != nil {
-			r.Model = s.outcome.Extend(r.Model)
+			r.Model = s.view.Extend(r.Model)
 		}
 		if s.verify && !cnf.Assignment(r.Model).Satisfies(s.pristine) {
 			// A model failing verification indicates an engine (or

@@ -32,6 +32,7 @@ func run() int {
 		table        = flag.String("table", "all", "table number 1-10, or 'all'")
 		ablation     = flag.String("ablation", "", "run an ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb, or 'all'")
 		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
+		queryStream  = flag.Int("querystream", 0, "bench a K-query assumption stream: snapshot+pool reuse vs rebuild-per-query, instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock budget (0 = unlimited)")
@@ -65,6 +66,19 @@ func run() int {
 		// The paper's solvers did not preprocess; flag it so table numbers
 		// are never mistaken for paper-exact conditions.
 		fmt.Fprintln(os.Stderr, "c preprocessing enabled (-simplify); pass -simplify=false for the paper-exact pipeline")
+	}
+
+	if *queryStream != 0 {
+		if *queryStream < 1 {
+			fmt.Fprintf(os.Stderr, "-querystream needs a positive query count (got %d)\n", *queryStream)
+			return 1
+		}
+		r := bench.QueryStream(bench.QueryStreamInstance(sc), *queryStream, *preprocess)
+		fmt.Print(bench.RenderQueryStream(r))
+		if r.Mismatches > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	if *jobs != 0 {

@@ -1,7 +1,13 @@
 // Bounded model checking: unroll a FIFO controller's transition relation
 // (the shape of the SAT-2002 "fifo" instances in the paper's Table 10),
 // prove the safe design correct up to a depth, and find the exact failure
-// depth of a buggy design by deepening the unrolling.
+// depth of a buggy design by iterative deepening.
+//
+// The deepening loop uses the incremental encoding plus a formula
+// snapshot: the transition relation is encoded and preprocessed ONCE, each
+// depth is a SolveAssuming call on a per-depth selector literal, and learnt
+// clauses about the transition logic carry from depth to depth — instead of
+// re-unrolling, re-feeding and re-simplifying a fresh solver per depth.
 package main
 
 import (
@@ -11,30 +17,42 @@ import (
 )
 
 func main() {
-	const ptrBits = 3 // 8-slot FIFO
+	const (
+		ptrBits  = 3 // 8-slot FIFO
+		maxDepth = 16
+	)
 
 	// 1. The correct FIFO: occupancy can never exceed capacity.
 	safe := berkmin.FIFO(ptrBits, false)
-	f, err := safe.Unroll(20)
+	f, sels, err := berkmin.UnrollIncremental(safe, 20)
 	if err != nil {
 		panic(err)
 	}
 	s := berkmin.New()
+	so := berkmin.DefaultSimplifyOptions()
+	s.SetSimplify(&so)
 	s.AddFormula(f)
-	res := s.Solve()
+	res := s.SolveAssuming(sels[20])
 	fmt.Printf("safe fifo, 20 steps: %v (no overflow reachable)\n", res.Status)
 
 	// 2. The buggy FIFO (missing full-check): find the shallowest
-	// counterexample by iterative deepening — the standard BMC loop.
+	// counterexample. Encode all depths once, snapshot after the one
+	// preprocessing pass, and probe depth after depth on one derived
+	// solver.
 	buggy := berkmin.FIFO(ptrBits, true)
-	for k := 1; k <= 16; k++ {
-		f, err := buggy.Unroll(k)
-		if err != nil {
-			panic(err)
-		}
-		s := berkmin.New()
-		s.AddFormula(f)
-		res := s.Solve()
+	f, sels, err = berkmin.UnrollIncremental(buggy, maxDepth)
+	if err != nil {
+		panic(err)
+	}
+	src := berkmin.New()
+	so = berkmin.DefaultSimplifyOptions()
+	src.SetSimplify(&so)
+	src.AddFormula(f)
+	snap := src.Snapshot() // pays encoding + preprocessing once
+
+	w := snap.NewSolver()
+	for k := 1; k <= maxDepth; k++ {
+		res := w.SolveAssuming(sels[k])
 		fmt.Printf("buggy fifo, depth %2d: %v\n", k, res.Status)
 		if res.Status == berkmin.StatusSat {
 			fmt.Printf("overflow reachable in %d steps: %d pushes overrun the %d-slot buffer\n",

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"berkmin"
+	"berkmin/internal/gen"
+)
+
+// QueryStreamResult compares two ways of serving a stream of K assumption
+// queries against one formula: capturing a Snapshot once and answering
+// each query on a pooled (Reset) solver, versus rebuilding a fresh solver
+// — clause ingestion and preprocessing included — for every query.
+type QueryStreamResult struct {
+	Instance   string
+	Queries    int
+	Reuse      time.Duration // snapshot once, pooled solver per query
+	Rebuild    time.Duration // fresh solver + preprocessing per query
+	Speedup    float64       // Rebuild / Reuse
+	Mismatches int           // verdict disagreements between the two paths
+}
+
+// queryLit is the q-th assumption of the deterministic query stream:
+// variables cycle, polarity alternates.
+func queryLit(numVars, q int) int {
+	lit := q%numVars + 1
+	if q%2 == 1 {
+		lit = -lit
+	}
+	return lit
+}
+
+// QueryStream measures a K-query assumption stream over one instance on
+// both paths and cross-checks every verdict.
+func QueryStream(inst gen.Instance, queries int, simp bool) QueryStreamResult {
+	newSolver := func() *berkmin.Solver {
+		s := berkmin.New()
+		if simp {
+			so := berkmin.DefaultSimplifyOptions()
+			s.SetSimplify(&so)
+		}
+		s.AddFormula(inst.Formula)
+		return s
+	}
+
+	reuseStatus := make([]berkmin.Status, queries)
+	start := time.Now()
+	pool := newSolver().Snapshot().NewPool()
+	for q := 0; q < queries; q++ {
+		w := pool.Get()
+		reuseStatus[q] = w.SolveAssuming(queryLit(inst.Formula.NumVars, q)).Status
+		pool.Put(w)
+	}
+	reuse := time.Since(start)
+
+	mismatches := 0
+	start = time.Now()
+	for q := 0; q < queries; q++ {
+		s := newSolver()
+		if s.SolveAssuming(queryLit(inst.Formula.NumVars, q)).Status != reuseStatus[q] {
+			mismatches++
+		}
+	}
+	rebuild := time.Since(start)
+
+	return QueryStreamResult{
+		Instance:   inst.Name,
+		Queries:    queries,
+		Reuse:      reuse,
+		Rebuild:    rebuild,
+		Speedup:    float64(rebuild) / float64(reuse),
+		Mismatches: mismatches,
+	}
+}
+
+// QueryStreamInstance picks the suite instance the query-stream mode runs
+// on at each scale: a satisfiable planning encoding, large enough that
+// ingestion and preprocessing are a real per-rebuild cost while individual
+// assumption queries stay cheap — the incremental-SAT usage pattern.
+func QueryStreamInstance(sc Scale) gen.Instance {
+	switch sc {
+	case Small:
+		return gen.Blocksworld(4, 0, 1)
+	case Medium:
+		return gen.Blocksworld(5, 0, 2)
+	default:
+		return gen.Blocksworld(6, 0, 2)
+	}
+}
+
+// RenderQueryStream formats the comparison as a small report table.
+func RenderQueryStream(r QueryStreamResult) string {
+	s := fmt.Sprintf("Query stream: %d assumption solves on %s\n", r.Queries, r.Instance)
+	s += fmt.Sprintf("  rebuild per query: %v\n", r.Rebuild)
+	s += fmt.Sprintf("  snapshot + pool:   %v\n", r.Reuse)
+	s += fmt.Sprintf("  speedup:           %.1fx\n", r.Speedup)
+	if r.Mismatches > 0 {
+		s += fmt.Sprintf("  VERDICT MISMATCHES: %d\n", r.Mismatches)
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package circuit
+
+import (
+	"testing"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+)
+
+// TestUnrollIncrementalAgrees: for every depth, solving the incremental
+// unrolling under the depth's selector assumption gives exactly the
+// verdict of the standalone Unroll at that depth — on a circuit whose
+// property fails at a known depth, on a safe one, and on the arbiter.
+func TestUnrollIncrementalAgrees(t *testing.T) {
+	const maxDepth = 7
+	seqs := []*SeqCircuit{
+		Counter(3, 5),  // counterexample exactly at depth 5
+		FIFO(2, true),  // overflow after capacity+1 pushes
+		FIFO(2, false), // safe
+		Arbiter(true),
+		Arbiter(false),
+	}
+	for _, sc := range seqs {
+		inc, sels, err := sc.UnrollIncremental(maxDepth)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if len(sels) != maxDepth+1 {
+			t.Fatalf("%s: %d selectors, want %d", sc.Name, len(sels), maxDepth+1)
+		}
+		s := core.New(core.DefaultOptions())
+		s.AddFormula(inc)
+		for d := 0; d <= maxDepth; d++ {
+			ref, err := sc.Unroll(d)
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", sc.Name, d, err)
+			}
+			rs := core.New(core.DefaultOptions())
+			rs.AddFormula(ref)
+			want := rs.Solve().Status
+
+			got := s.SolveAssuming([]cnf.Lit{cnf.PosLit(sels[d])}).Status
+			if got != want {
+				t.Fatalf("%s depth %d: incremental %v, standalone %v", sc.Name, d, got, want)
+			}
+		}
+	}
+}
+
+// TestUnrollIncrementalUnconstrained: with no selector assumed the
+// incremental formula must be satisfiable — it only answers through
+// assumptions.
+func TestUnrollIncrementalUnconstrained(t *testing.T) {
+	inc, _, err := Counter(3, 5).UnrollIncremental(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.New(core.DefaultOptions())
+	s.AddFormula(inc)
+	if r := s.Solve(); r.Status != core.StatusSat {
+		t.Fatalf("unconstrained incremental unrolling: %v", r.Status)
+	}
+}

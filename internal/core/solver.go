@@ -62,29 +62,28 @@ type Result struct {
 // Solver is a CDCL SAT solver. Create one with New, add clauses with
 // AddClause or AddFormula, then call Solve. A Solver is not safe for
 // concurrent use.
+//
+// The fields are grouped into two planes (plus configuration/wiring); the
+// split is what makes the lifecycle operations of reuse.go cheap and
+// correct. The FORMULA PLANE is a function of the clauses ever added: it
+// survives Reset untouched, so a reset solver re-searches the same loaded
+// formula without re-ingesting it. The SEARCH PLANE is what the CDCL loop
+// accumulates while solving: Reset discards it wholesale. Clone deep-copies
+// both planes (no mutable memory is shared), and the watch/occurrence lists
+// straddle the line deliberately — their structure is formula-determined
+// but their contents include learnt clauses, so Reset rebuilds them in
+// place after dropping the learnt database.
 type Solver struct {
 	opt Options
 
+	// ---- Formula plane: determined by the added clauses; kept by Reset.
+	// The trail's level-0 prefix belongs here too (declared with the search
+	// plane because its upper levels are search state): unit clauses are
+	// never stored in the arena — they exist only as retained level-0
+	// assignments, so dropping them would lose part of the formula.
 	nVars   int
 	ca      clauseArena // flat storage for every clause (arena.go)
 	clauses []clauseRef // problem clauses (physically shrunk by simplification)
-	learnts []clauseRef // conflict-clause stack, index = age, top = end
-
-	watches    [][]watcher    // watches[l]: clauses of >= 3 literals currently watching literal l
-	binWatches [][]binWatcher // binWatches[l]: live binary clauses (l ∨ other); falsifying l implies other
-
-	assigns   []lbool     // per variable
-	vlevel    []int32     // per variable: decision level of its assignment
-	reason    []clauseRef // per variable: antecedent clause (refUndef for decisions, refBin for binary implications)
-	binReason []cnf.Lit   // per variable: the implying (false) literal when reason is refBin
-	trail     []cnf.Lit
-	trailLim  []int
-	qhead     int
-
-	varAct   []int64 // per variable: BerkMin var_activity (§4)
-	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
-	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
-	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
 
 	// binOcc[l] lists the partner literal of every live binary *problem*
 	// clause (l ∨ partner) — the incrementally maintained §7 nb_two
@@ -94,6 +93,30 @@ type Solver struct {
 	// or strengthened to binary by simplification and inprocessing migrate
 	// via the wholesale rebuild those passes already end with.
 	binOcc [][]cnf.Lit
+
+	ok bool // false once UNSAT is established at level 0 (a formula property)
+
+	// ---- Watch lists: formula-shaped, search-filled. Indexed per literal
+	// like binOcc, but entries cover learnt clauses too, so Reset rebuilds
+	// them (in place, reusing the backing storage) rather than keeping them.
+	watches    [][]watcher    // watches[l]: clauses of >= 3 literals currently watching literal l
+	binWatches [][]binWatcher // binWatches[l]: live binary clauses (l ∨ other); falsifying l implies other
+
+	// ---- Search plane: accumulated by the CDCL loop; dropped by Reset.
+	learnts []clauseRef // conflict-clause stack, index = age, top = end
+
+	assigns   []lbool     // per variable
+	vlevel    []int32     // per variable: decision level of its assignment
+	reason    []clauseRef // per variable: antecedent clause (refUndef for decisions, refBin for binary implications)
+	binReason []cnf.Lit   // per variable: the implying (false) literal when reason is refBin
+	trail     []cnf.Lit   // level-0 prefix is formula plane (see above)
+	trailLim  []int
+	qhead     int
+
+	varAct   []int64 // per variable: BerkMin var_activity (§4)
+	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
+	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
+	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
 
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
@@ -131,6 +154,8 @@ type Solver struct {
 
 	rng xorshift
 
+	// ---- Configuration and wiring: per-solver hooks that deliberately do
+	// NOT travel with Clone (see reuse.go).
 	// debugLearnt, when set, observes every learnt clause before it is
 	// recorded (test hook); debugConflict observes every conflict before
 	// analysis.
@@ -148,7 +173,6 @@ type Solver struct {
 	exportMaxGlue int
 	exportFn      func(lits []cnf.Lit, glue int)
 
-	ok             bool // false once UNSAT is established at level 0
 	sinceTimeCheck uint64
 	restartLimit   int     // conflicts until next restart
 	lubyIndex      int     // position in the Luby sequence (RestartLuby)
@@ -448,6 +472,13 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 		s.deadline = time.Time{}
 	}
 	if !s.ok {
+		// The formula was refuted before this call (at load time, or in a
+		// previous lifetime before this solver was cloned). Re-emit the
+		// empty clause so a proof writer attached after the refutation —
+		// e.g. on a Clone of a dead master, which never saw the original
+		// event — still receives a complete trace; the level-0 refutation
+		// is RUP against the formula, so a duplicate line stays valid.
+		s.proofEmpty()
 		return s.finish(StatusUnsat, nil)
 	}
 

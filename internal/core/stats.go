@@ -94,6 +94,14 @@ func (r StopReason) ResourceLimit() bool {
 // now, not a running total; CoreLearnts, Tier2Learnts and LocalLearnts are
 // gauges the same way (current tier sizes). TestStatsIncrementalSemantics
 // pins this contract.
+//
+// Lifecycle semantics (reuse.go): Solver.Reset starts a NEW Stats lifetime
+// — every cumulative counter returns to zero and the gauges are recomputed
+// from the surviving formula (so BinClauses reflects the problem clauses
+// still attached, while the learnt-tier gauges drop to zero with the
+// learnt database). Solver.Clone copies the Stats verbatim — the clone
+// inherits the accumulation up to the clone point and diverges from there;
+// Reconfigure keeps Stats untouched. TestStatsResetSemantics pins this.
 type Stats struct {
 	Decisions    uint64
 	Conflicts    uint64

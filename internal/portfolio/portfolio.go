@@ -206,36 +206,38 @@ func (h *hub) publish(from int, lits []cnf.Lit, glue int) {
 	}
 }
 
-// Solve runs the portfolio to the first definitive answer. All members are
-// always waited for before returning, so no goroutine outlives the call.
-func Solve(f *cnf.Formula, opt Options) Result {
-	orig := f
-	var simplified *simplify.Outcome
-	var preSpent time.Duration
-	if opt.Simplify != nil {
-		// Bound preprocessing by the same wall-clock budget as the members
-		// and deduct what it uses, so MaxTime stays an end-to-end limit
-		// for the whole call; the time spent is charged to the returned
-		// Runtime like the sequential front-end does.
-		simplified, preSpent, opt.MaxTime = simplify.Run(f, *opt.Simplify, opt.MaxTime, nil)
-		if simplified.Unsat {
-			// Preprocessing alone refuted the formula; no race needed.
-			return Result{
-				Result: core.Result{Status: core.StatusUnsat, Stats: core.Stats{Runtime: preSpent}},
-				Winner: "simplify",
-			}
-		}
-		f = simplified.Formula
+// configs resolves the member configuration list (explicit Configs, or
+// Jobs/GOMAXPROCS diversified variants).
+func (opt *Options) configs() []Config {
+	if len(opt.Configs) > 0 {
+		return opt.Configs
 	}
-	cfgs := opt.Configs
-	if len(cfgs) == 0 {
-		jobs := opt.Jobs
-		if jobs <= 0 {
-			jobs = runtime.GOMAXPROCS(0)
-		}
-		cfgs = Variants(jobs, opt.BaseSeed)
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
 	}
-	n := len(cfgs)
+	return Variants(jobs, opt.BaseSeed)
+}
+
+// memberOptions applies the portfolio-wide budget overrides to one member
+// configuration.
+func memberOptions(o core.Options, opt Options) core.Options {
+	if opt.MaxConflicts > 0 {
+		o.MaxConflicts = opt.MaxConflicts
+	}
+	if opt.MaxTime > 0 {
+		o.MaxTime = opt.MaxTime
+	}
+	return o
+}
+
+// race wires the clause-sharing hub into the prepared members and runs
+// them to the first definitive answer, interrupting the rest. All members
+// are always waited for before returning, so no goroutine outlives the
+// call. The winning model (if any) is in the members' variable space —
+// reconstruction and verification stay with the caller.
+func race(solvers []*core.Solver, cfgs []Config, opt Options) Result {
+	n := len(solvers)
 	shareLen := opt.ShareMaxLen
 	if shareLen == 0 {
 		shareLen = DefaultShareMaxLen
@@ -243,18 +245,6 @@ func Solve(f *cnf.Formula, opt Options) Result {
 	shareGlue := opt.ShareMaxGlue
 	if shareGlue == 0 {
 		shareGlue = DefaultShareMaxGlue
-	}
-
-	solvers := make([]*core.Solver, n)
-	for i, cfg := range cfgs {
-		o := cfg.Opt
-		if opt.MaxConflicts > 0 {
-			o.MaxConflicts = opt.MaxConflicts
-		}
-		if opt.MaxTime > 0 {
-			o.MaxTime = opt.MaxTime
-		}
-		solvers[i] = core.New(o)
 	}
 	if shareLen > 0 && n > 1 {
 		h := newHub(solvers)
@@ -279,9 +269,7 @@ func Solve(f *cnf.Formula, opt Options) Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s := solvers[i]
-			s.AddFormula(f)
-			ch <- outcome{i, s.Solve()}
+			ch <- outcome{i, solvers[i].Solve()}
 		}(i)
 	}
 
@@ -302,20 +290,7 @@ func Solve(f *cnf.Formula, opt Options) Result {
 	wg.Wait()
 
 	if winner >= 0 {
-		win := runs[winner].Result
-		win.Stats.Runtime += preSpent
-		if win.Status == core.StatusSat {
-			if simplified != nil {
-				win.Model = simplified.Extend(win.Model)
-			}
-			if !cnf.Assignment(win.Model).Satisfies(orig) {
-				// A wrong model here would mean unsound clause sharing or
-				// broken model reconstruction; fail loudly rather than
-				// hand back a bad witness.
-				panic("portfolio: internal error: winning model does not satisfy the formula")
-			}
-		}
-		return Result{Result: win, Winner: cfgs[winner].Name, Jobs: runs}
+		return Result{Result: runs[winner].Result, Winner: cfgs[winner].Name, Jobs: runs}
 	}
 	// Every member ran out of budget: report a representative run,
 	// preferring one stopped by a resource limit over other reasons.
@@ -326,6 +301,75 @@ func Solve(f *cnf.Formula, opt Options) Result {
 			break
 		}
 	}
-	rep.Stats.Runtime += preSpent
 	return Result{Result: rep, Jobs: runs}
+}
+
+// Solve runs the portfolio to the first definitive answer. Preprocessing
+// (when configured) and clause ingestion are both paid exactly once: one
+// master solver ingests the simplified formula, and every member is a
+// Clone of it reconfigured to its own heuristics and seed — members never
+// re-feed clauses.
+func Solve(f *cnf.Formula, opt Options) Result {
+	orig := f
+	var simplified *simplify.Outcome
+	var preSpent time.Duration
+	if opt.Simplify != nil {
+		// Bound preprocessing by the same wall-clock budget as the members
+		// and deduct what it uses, so MaxTime stays an end-to-end limit
+		// for the whole call; the time spent is charged to the returned
+		// Runtime like the sequential front-end does.
+		simplified, preSpent, opt.MaxTime = simplify.Run(f, *opt.Simplify, opt.MaxTime, nil)
+		if simplified.Unsat {
+			// Preprocessing alone refuted the formula; no race needed.
+			return Result{
+				Result: core.Result{Status: core.StatusUnsat, Stats: core.Stats{Runtime: preSpent}},
+				Winner: "simplify",
+			}
+		}
+		f = simplified.Formula
+	}
+	cfgs := opt.configs()
+	master := core.New(memberOptions(cfgs[0].Opt, opt))
+	master.AddFormula(f)
+	solvers := make([]*core.Solver, len(cfgs))
+	solvers[0] = master
+	for i := 1; i < len(cfgs); i++ {
+		s := master.Clone()
+		s.Reconfigure(memberOptions(cfgs[i].Opt, opt))
+		solvers[i] = s
+	}
+
+	res := race(solvers, cfgs, opt)
+	res.Stats.Runtime += preSpent
+	if res.Status == core.StatusSat {
+		if simplified != nil {
+			res.Model = simplified.Extend(res.Model)
+		}
+		if !cnf.Assignment(res.Model).Satisfies(orig) {
+			// A wrong model here would mean unsound clause sharing or
+			// broken model reconstruction; fail loudly rather than
+			// hand back a bad witness.
+			panic("portfolio: internal error: winning model does not satisfy the formula")
+		}
+	}
+	return res
+}
+
+// SolveFromSolver races the portfolio over clones of an already-loaded
+// base solver: the base keeps its formula (and anything it has learnt) and
+// is never solved on or mutated, so one preprocessed master — e.g. a
+// front-end Snapshot's — can serve many SolveFromSolver calls. Each member
+// is base.Clone() reconfigured to its portfolio variant. Opt.Simplify is
+// ignored: the base is taken as-is, and the winning model is returned in
+// the base's variable space — model reconstruction (and verification)
+// against any original formula stays with the caller.
+func SolveFromSolver(base *core.Solver, opt Options) Result {
+	cfgs := opt.configs()
+	solvers := make([]*core.Solver, len(cfgs))
+	for i := range cfgs {
+		s := base.Clone()
+		s.Reconfigure(memberOptions(cfgs[i].Opt, opt))
+		solvers[i] = s
+	}
+	return race(solvers, cfgs, opt)
 }

@@ -166,6 +166,41 @@ func TestPerConfigBudgetsKept(t *testing.T) {
 	}
 }
 
+// TestSolveFromSolver: racing clones of an already-loaded base solver
+// agrees with the sequential answer, and the base itself stays untouched —
+// it can serve further calls and even be solved on afterwards.
+func TestSolveFromSolver(t *testing.T) {
+	insts := []gen.Instance{
+		gen.Pigeonhole(6),     // unsat
+		gen.Parity(32, 36, 5), // sat
+	}
+	for _, inst := range insts {
+		seq := core.New(core.DefaultOptions())
+		seq.AddFormula(inst.Formula)
+		want := seq.Solve().Status
+
+		base := core.New(core.DefaultOptions())
+		base.AddFormula(inst.Formula)
+		before := base.Stats()
+		for round := 0; round < 2; round++ {
+			r := SolveFromSolver(base, Options{Jobs: 3})
+			if r.Status != want {
+				t.Fatalf("%s round %d: portfolio %v, sequential %v", inst.Name, round, r.Status, want)
+			}
+			if r.Status == core.StatusSat && !cnf.Assignment(r.Model).Satisfies(inst.Formula) {
+				t.Fatalf("%s: winning model does not satisfy the formula", inst.Name)
+			}
+		}
+		after := base.Stats()
+		if after.Conflicts != before.Conflicts || after.Propagations != before.Propagations {
+			t.Fatalf("%s: base solver was mutated by SolveFromSolver", inst.Name)
+		}
+		if got := base.Solve().Status; got != want {
+			t.Fatalf("%s: base solves to %v after serving clones, want %v", inst.Name, got, want)
+		}
+	}
+}
+
 // TestInterruptLatency is a coarse regression guard: a 4-job portfolio on a
 // trivially easy instance must come back quickly even though three members
 // have to be cancelled mid-search.

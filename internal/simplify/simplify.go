@@ -643,23 +643,7 @@ func resolve(a, b cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
 // order, the value that satisfies all their original clauses. Variables
 // whose elimination was reverted by Restore keep the solver's value.
 func (o *Outcome) Extend(model []bool) []bool {
-	out := make([]bool, len(model))
-	copy(out, model)
-	for i := len(o.Elims) - 1; i >= 0; i-- {
-		e := o.Elims[i]
-		if e.restored {
-			continue
-		}
-		// Default false; flip to true if some clause requires it.
-		out[e.V] = false
-		for _, c := range e.Clauses {
-			if !cnf.Assignment(out).SatisfiesClause(c) {
-				out[e.V] = true
-				break
-			}
-		}
-	}
-	return out
+	return o.extend(model, nil)
 }
 
 // Restore reverts the i-th elimination for incremental solving: when a
@@ -669,6 +653,10 @@ func (o *Outcome) Extend(model []bool) []bool {
 // for it. The returned clauses may themselves mention variables eliminated
 // AFTER this one — the caller must restore those transitively, or the
 // reconstruction of those variables could falsify the re-added clauses.
+//
+// Restore mutates the outcome and is for a single-owner outcome only: when
+// one outcome backs several solvers (snapshot fan-out), each solver must
+// use its own View instead (view.go).
 func (o *Outcome) Restore(i int) []cnf.Clause {
 	e := &o.Elims[i]
 	if e.restored {

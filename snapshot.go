@@ -1,0 +1,206 @@
+package berkmin
+
+import (
+	"sync"
+	"time"
+
+	"berkmin/internal/cnf"
+	"berkmin/internal/core"
+	"berkmin/internal/portfolio"
+	"berkmin/internal/simplify"
+)
+
+// Snapshot is an immutable capture of a loaded (and, when SetSimplify is
+// enabled, preprocessed) formula. Taking one pays clause ingestion and
+// preprocessing exactly once; every solver derived from it — NewSolver,
+// a Pool, or SolveParallel's portfolio members — starts from an O(formula)
+// clone instead of re-feeding and re-simplifying the input. A Snapshot is
+// safe for concurrent use: derived solvers share no mutable state with it
+// or with each other.
+type Snapshot struct {
+	master   *core.Solver
+	pristine *cnf.Formula // original clauses, for model checking; never mutated
+	outcome  *simplify.Outcome
+	baseView *simplify.View  // restoration state at capture time (nil without simplify)
+	elims    map[cnf.Var]int // still-eliminated variables at capture time
+	verify   bool
+	maxTime  time.Duration // Options.MaxTime, inherited by derived solvers
+}
+
+// shallowFormula returns a read-only sharing copy of f: same backing
+// arrays, full-cap slices so any append by the holder reallocates instead
+// of clobbering siblings.
+func shallowFormula(f *cnf.Formula) *cnf.Formula {
+	return &cnf.Formula{
+		NumVars:  f.NumVars,
+		Clauses:  f.Clauses[:len(f.Clauses):len(f.Clauses)],
+		Comments: f.Comments[:len(f.Comments):len(f.Comments)],
+	}
+}
+
+func copyElims(m map[cnf.Var]int) map[cnf.Var]int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[cnf.Var]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot captures the solver's current formula as an immutable snapshot.
+// Pending preprocessing runs first (so it is paid here, once), and the
+// solver itself remains fully usable and independent afterwards — the
+// snapshot holds its own clone. Learnt clauses accumulated so far are
+// carried into the snapshot and seed every derived solver.
+func (s *Solver) Snapshot() *Snapshot {
+	s.preprocess()
+	return &Snapshot{
+		master:   s.core.Clone(),
+		pristine: shallowFormula(s.pristine),
+		outcome:  s.outcome,
+		baseView: cloneView(s.view),
+		elims:    copyElims(s.elimIndex),
+		verify:   s.verify,
+		maxTime:  s.maxTime,
+	}
+}
+
+func cloneView(v *simplify.View) *simplify.View {
+	if v == nil {
+		return nil
+	}
+	return v.Clone()
+}
+
+// NumVars returns the number of variables in the snapshot's formula.
+func (sn *Snapshot) NumVars() int {
+	if n := sn.pristine.NumVars; n > sn.master.NumVars() {
+		return n
+	}
+	return sn.master.NumVars()
+}
+
+// NewSolver returns a fresh solver loaded with the snapshot's formula.
+// The call is O(formula) — no clause re-ingestion, no preprocessing — and
+// the result shares no mutable state with the snapshot or its siblings, so
+// solvers derived from one snapshot may run concurrently. The new solver
+// supports the full incremental API (SolveAssuming, AddClause, further
+// Solve calls); it starts without a proof writer.
+func (sn *Snapshot) NewSolver() *Solver {
+	return &Solver{
+		core:      sn.master.Clone(),
+		pristine:  shallowFormula(sn.pristine),
+		verify:    sn.verify,
+		maxTime:   sn.maxTime,
+		fed:       true,
+		outcome:   sn.outcome,
+		view:      cloneView(sn.baseView),
+		elimIndex: copyElims(sn.elims),
+	}
+}
+
+// Reset returns the solver to its post-load state: search state (trail,
+// heuristic activities, saved phases, restart/reduce schedules) and all
+// learnt clauses are dropped, while the loaded formula — including clauses
+// added after construction and any restored eliminations — is kept, with
+// no re-ingestion or arena rebuild. Statistics begin a new lifetime (see
+// Stats). With SetSimplify enabled and no solve yet run, pending
+// preprocessing runs first so that "post-load state" is well defined.
+func (s *Solver) Reset() {
+	s.preprocess()
+	s.core.Reset()
+}
+
+// Clone returns an independent copy of the solver: same formula, learnt
+// clauses, heuristic state and statistics, sharing no mutable state with
+// the original — the two may run concurrently from the moment Clone
+// returns. Pending preprocessing runs first (charged to the original's
+// first solve). The clone does not carry the proof writer: interleaving
+// two searches into one DRUP trace would corrupt it, so attach a fresh
+// writer to the clone if needed.
+func (s *Solver) Clone() *Solver {
+	s.preprocess()
+	return &Solver{
+		core:      s.core.Clone(),
+		pristine:  shallowFormula(s.pristine),
+		verify:    s.verify,
+		maxTime:   s.maxTime,
+		fed:       true,
+		outcome:   s.outcome,
+		view:      cloneView(s.view),
+		elimIndex: copyElims(s.elimIndex),
+	}
+}
+
+// Pool is a concurrency-safe free list of solvers derived from one
+// Snapshot, for query streams that need a solver per request without
+// paying a clone each time: Get hands out a reset solver (cloning a new
+// one only when the pool is empty), Put resets and recycles it.
+type Pool struct {
+	snap *Snapshot
+	mu   sync.Mutex
+	free []*Solver
+}
+
+// NewPool returns an empty pool over the snapshot.
+func (sn *Snapshot) NewPool() *Pool { return &Pool{snap: sn} }
+
+// Get returns a solver loaded with the snapshot's formula, in post-load
+// state — either recycled from a previous Put or freshly derived.
+func (p *Pool) Get() *Solver {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return p.snap.NewSolver()
+}
+
+// Put recycles a solver obtained from Get, resetting it for the next
+// caller. Solvers that have diverged from the snapshot's formula — extra
+// clauses added, or a proof writer attached — are dropped instead of
+// recycled, so handing a modified solver back is safe but not a reuse.
+func (p *Pool) Put(s *Solver) {
+	if s == nil {
+		return
+	}
+	if s.proofW != nil || len(s.pristine.Clauses) != len(p.snap.pristine.Clauses) {
+		return
+	}
+	s.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}
+
+// SolveParallel races a portfolio of diversified configurations over the
+// snapshot, like the package-level SolveParallel, but without re-paying
+// preprocessing or clause ingestion: every member is a clone of the
+// snapshot's master. opt.Simplify is ignored — the snapshot's own
+// preprocessing (or lack of it) is what the members search on. The
+// snapshot remains untouched and reusable.
+func (sn *Snapshot) SolveParallel(opt ParallelOptions) ParallelResult {
+	r := portfolio.SolveFromSolver(sn.master, portfolio.Options{
+		Jobs:         opt.Jobs,
+		ShareMaxLen:  opt.ShareMaxLen,
+		ShareMaxGlue: opt.ShareMaxGlue,
+		MaxConflicts: opt.MaxConflicts,
+		MaxTime:      opt.MaxTime,
+		BaseSeed:     opt.Seed,
+	})
+	if r.Status == StatusSat {
+		if sn.outcome != nil {
+			r.Model = sn.baseView.Extend(r.Model)
+		}
+		if sn.verify && !cnf.Assignment(r.Model).Satisfies(sn.pristine) {
+			panic("berkmin: internal error: model does not satisfy the input formula")
+		}
+	}
+	return ParallelResult{Result: r.Result, Winner: r.Winner}
+}
