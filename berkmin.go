@@ -34,6 +34,7 @@
 package berkmin
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -161,23 +162,35 @@ func (s *Solver) SetSimplify(opt *SimplifyOptions) {
 	s.simp = opt
 }
 
-// AddClause adds a clause given as signed DIMACS literals (±v). Zero
-// values are rejected by panic since they terminate clauses in DIMACS and
-// cannot appear inside one.
-func (s *Solver) AddClause(lits ...int) {
+// AddClause adds a clause given as signed DIMACS literals (±v). A zero
+// literal — which terminates clauses in DIMACS and cannot appear inside
+// one — reports ErrInvalidLiteral and adds nothing. When unsatisfiability
+// has already been established at level 0 the clause is recorded but can
+// no longer constrain anything, which is reported as ErrSolverDead (the
+// solver remains usable; every solve answers UNSAT). Both conditions were
+// a panic and a silent no-op respectively before the error return.
+func (s *Solver) AddClause(lits ...int) error {
 	for _, l := range lits {
 		if l == 0 {
-			panic("berkmin: literal 0 is not allowed in a clause")
+			return ErrInvalidLiteral
 		}
 	}
+	wasDead := s.core.Dead()
 	c := cnf.NewClause(lits...)
 	s.pristine.Add(c.Clone())
 	s.feed(c)
+	if wasDead {
+		return ErrSolverDead
+	}
+	return nil
 }
 
 // AddFormula adds every clause of a formula (e.g. from ReadDimacs or a
-// generator). Clauses go through the same ingestion gate as AddClause.
-func (s *Solver) AddFormula(f *Formula) {
+// generator). Clauses go through the same ingestion gate as AddClause, and
+// the error contract is AddClause's: ErrSolverDead when the solver was
+// already dead (the clauses are recorded but cannot constrain anything).
+func (s *Solver) AddFormula(f *Formula) error {
+	wasDead := s.core.Dead()
 	for _, c := range f.Clauses {
 		s.pristine.Add(c.Clone())
 		s.feed(c)
@@ -189,6 +202,10 @@ func (s *Solver) AddFormula(f *Formula) {
 		// feed only sees clauses; register any variables beyond them.
 		s.core.AddFormula(&cnf.Formula{NumVars: f.NumVars})
 	}
+	if wasDead {
+		return ErrSolverDead
+	}
+	return nil
 }
 
 // feed hands one clause to the core engine — immediately when
@@ -393,6 +410,10 @@ type ParallelResult struct {
 // are identical in kind to Solve's (models are verified before being
 // returned); only which member finds them — and how fast — varies.
 func SolveParallel(f *Formula, opt ParallelOptions) ParallelResult {
+	return solveParallel(context.Background(), f, opt)
+}
+
+func solveParallel(ctx context.Context, f *Formula, opt ParallelOptions) ParallelResult {
 	popt := portfolio.Options{
 		Jobs:         opt.Jobs,
 		ShareMaxLen:  opt.ShareMaxLen,
@@ -405,7 +426,7 @@ func SolveParallel(f *Formula, opt ParallelOptions) ParallelResult {
 		so := DefaultSimplifyOptions()
 		popt.Simplify = &so
 	}
-	r := portfolio.Solve(f, popt)
+	r := portfolio.SolveContext(ctx, f, popt)
 	return ParallelResult{Result: r.Result, Winner: r.Winner}
 }
 

@@ -2,6 +2,7 @@ package berkmin_test
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -28,13 +29,36 @@ func TestPublicAPISatUnsat(t *testing.T) {
 	}
 }
 
-func TestPublicAPIPanicsOnZeroLiteral(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for literal 0")
-		}
-	}()
-	berkmin.New().AddClause(1, 0, 2)
+func TestAddClauseRejectsZeroLiteral(t *testing.T) {
+	s := berkmin.New()
+	if err := s.AddClause(1, 0, 2); !errors.Is(err, berkmin.ErrInvalidLiteral) {
+		t.Fatalf("AddClause(1,0,2) err = %v, want ErrInvalidLiteral", err)
+	}
+	// The rejected clause must not have been recorded: the formula is
+	// still empty and trivially satisfiable.
+	if r := s.Solve(); r.Status != berkmin.StatusSat {
+		t.Fatalf("status after rejected clause = %v", r.Status)
+	}
+}
+
+func TestAddClauseOnDeadSolver(t *testing.T) {
+	s := berkmin.New()
+	if err := s.AddClause(1); err != nil {
+		t.Fatalf("AddClause(1) err = %v", err)
+	}
+	if err := s.AddClause(-1); err != nil {
+		// Deriving UNSAT is a successful add, not an error.
+		t.Fatalf("AddClause(-1) err = %v", err)
+	}
+	if err := s.AddClause(2, 3); !errors.Is(err, berkmin.ErrSolverDead) {
+		t.Fatalf("AddClause on dead solver err = %v, want ErrSolverDead", err)
+	}
+	if err := s.AddFormula(berkmin.Queens(4).Formula); !errors.Is(err, berkmin.ErrSolverDead) {
+		t.Fatalf("AddFormula on dead solver err = %v, want ErrSolverDead", err)
+	}
+	if r := s.Solve(); r.Status != berkmin.StatusUnsat {
+		t.Fatalf("dead solver status = %v", r.Status)
+	}
 }
 
 func TestAddFormulaAndVerify(t *testing.T) {

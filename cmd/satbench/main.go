@@ -33,6 +33,7 @@ func run() int {
 		ablation     = flag.String("ablation", "", "run an ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb, or 'all'")
 		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
 		queryStream  = flag.Int("querystream", 0, "bench a K-query assumption stream: snapshot+pool reuse vs rebuild-per-query, instead of a table")
+		serverStream = flag.Int("server", 0, "bench a K-query assumption stream through a live satserved daemon vs the in-process pool, instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 2*time.Minute, "per-run wall-clock budget (0 = unlimited)")
@@ -75,6 +76,23 @@ func run() int {
 		}
 		r := bench.QueryStream(bench.QueryStreamInstance(sc), *queryStream, *preprocess)
 		fmt.Print(bench.RenderQueryStream(r))
+		if r.Mismatches > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *serverStream != 0 {
+		if *serverStream < 1 {
+			fmt.Fprintf(os.Stderr, "-server needs a positive query count (got %d)\n", *serverStream)
+			return 1
+		}
+		r, err := bench.ServerQueryStream(bench.QueryStreamInstance(sc), *serverStream, *preprocess)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Print(bench.RenderServerStream(r))
 		if r.Mismatches > 0 {
 			return 1
 		}

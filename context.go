@@ -1,0 +1,141 @@
+package berkmin
+
+import (
+	"context"
+	"errors"
+
+	"berkmin/internal/cnf"
+)
+
+// Context-first solving. SolveContext and SolveAssumingContext are the
+// cancellation-aware counterparts of Solve and SolveAssuming: the context's
+// deadline and cancellation are mapped onto the solver's Interrupt
+// mechanism (the same plumbing Interrupt exposes directly), and are honored
+// during preprocessing as well as search — a SetSimplify pass stops at its
+// next pass boundary when the context fires. Plain Solve/SolveAssuming
+// remain fully supported; nothing is deprecated.
+//
+// The returned error classifies a StatusUnknown result: nil for a
+// definitive answer, ErrDeadline / ErrCanceled when the context fired,
+// ErrBudgetExhausted when one of the solver's own Options budgets ran out,
+// ErrInterrupted for an explicit Interrupt call. The Result is returned
+// alongside the error either way, so callers keep the Stats (and StopReason)
+// of the cut-short run.
+//
+// The context variants own the interrupt flag: when the context fires they
+// set it, and they clear it again before returning, so the solver — and in
+// particular a Pool-recycled solver — remains usable for the next call. Do
+// not mix a concurrent manual Interrupt with a context-canceled solve on
+// the same solver: the flag cannot distinguish the two owners.
+
+// SolveContext runs the search, stopping early when ctx is canceled or its
+// deadline expires. See the package comment above for the error contract.
+func (s *Solver) SolveContext(ctx context.Context) (Result, error) {
+	return s.runWithContext(ctx, func() Result {
+		s.preprocess()
+		return s.finishResult(s.solveCore(s.core.Solve))
+	})
+}
+
+// SolveAssumingContext is SolveAssuming with context cancellation, and
+// reports ErrInvalidLiteral (instead of panicking) on a zero assumption
+// literal.
+func (s *Solver) SolveAssumingContext(ctx context.Context, lits ...int) (Result, error) {
+	assumps := make([]cnf.Lit, len(lits))
+	for i, l := range lits {
+		if l == 0 {
+			return Result{Status: StatusUnknown}, ErrInvalidLiteral
+		}
+		assumps[i] = cnf.FromDimacs(l)
+	}
+	return s.runWithContext(ctx, func() Result {
+		s.preprocess()
+		for _, a := range assumps {
+			s.restore(a.Var())
+		}
+		return s.finishResult(s.solveCore(func() Result { return s.core.SolveAssuming(assumps) }))
+	})
+}
+
+// runWithContext runs one solve under a context watcher: a goroutine maps
+// ctx.Done onto core Interrupt, and is always joined before returning so a
+// late-firing watcher can never leave a stale sticky interrupt behind (the
+// reusability guarantee Pool.Put relies on).
+func (s *Solver) runWithContext(ctx context.Context, search func() Result) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		// Already expired: report without touching the solver, so its
+		// state (and any attached proof trace) is exactly as before.
+		return Result{Status: StatusUnknown, Stop: StopInterrupted}, ctxSentinel(err)
+	}
+	if ctx.Done() == nil {
+		// A context that can never fire (context.Background()) needs no
+		// watcher goroutine.
+		r := search()
+		return r, stopError(r.Stop, nil)
+	}
+	quit := make(chan struct{})
+	fired := make(chan bool, 1)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.core.Interrupt()
+			fired <- true
+		case <-quit:
+			fired <- false
+		}
+	}()
+	r := search()
+	close(quit)
+	if <-fired {
+		s.core.ClearInterrupt()
+	}
+	return r, stopError(r.Stop, ctx)
+}
+
+// stopError maps a StopReason (plus the context, when one was in play) to
+// the public sentinel errors.
+func stopError(stop StopReason, ctx context.Context) error {
+	switch stop {
+	case StopConflicts, StopDecisions, StopTime:
+		return ErrBudgetExhausted
+	case StopInterrupted:
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return ctxSentinel(err)
+			}
+		}
+		return ErrInterrupted
+	default:
+		return nil
+	}
+}
+
+// ctxSentinel maps a non-nil context error to the matching sentinel.
+func ctxSentinel(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}
+
+// SolveParallelContext is SolveParallel with context cancellation: when ctx
+// fires, every portfolio member is interrupted and the call returns
+// promptly with the matching sentinel error. The error contract is the same
+// as SolveContext's.
+func SolveParallelContext(ctx context.Context, f *Formula, opt ParallelOptions) (ParallelResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ParallelResult{Result: Result{Status: StatusUnknown, Stop: StopInterrupted}}, ctxSentinel(err)
+	}
+	r := solveParallel(ctx, f, opt)
+	return r, stopError(r.Stop, ctx)
+}
+
+// SolveParallelContext races the snapshot's portfolio under a context; see
+// SolveParallelContext (package level) for the error contract.
+func (sn *Snapshot) SolveParallelContext(ctx context.Context, opt ParallelOptions) (ParallelResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ParallelResult{Result: Result{Status: StatusUnknown, Stop: StopInterrupted}}, ctxSentinel(err)
+	}
+	r := sn.solveParallel(ctx, opt)
+	return r, stopError(r.Stop, ctx)
+}

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# satserved end-to-end smoke: boot the daemon, exercise every endpoint with
+# curl — upload, assumption queries, a batch over the small generated
+# suite, a one-shot with a DRUP proof, deadline handling — and check that
+# /metrics reconciles with what we sent. Used by CI (satserved-smoke job)
+# and runnable locally:
+#
+#   go build -o satserved ./cmd/satserved && ./examples/serving/smoke.sh ./satserved
+set -euo pipefail
+
+BIN=${1:-satserved}
+PORT=${PORT:-18080}
+BASE="http://127.0.0.1:${PORT}"
+WORK=$(mktemp -d)
+trap 'if [ "${DAEMON_PID:-0}" != 0 ]; then kill "$DAEMON_PID" 2>/dev/null || true; fi; rm -rf "$WORK"' EXIT
+
+fail() { echo "SMOKE FAIL: $*" >&2; exit 1; }
+
+# ---- boot ------------------------------------------------------------------
+"$BIN" -listen "127.0.0.1:${PORT}" -deadline 30s &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || fail "daemon never became healthy"
+echo "daemon healthy on :$PORT"
+
+# ---- formula lifecycle + assumption queries --------------------------------
+go run ./cmd/satgen -family blocksworld -n 4 -seed 1 -out "$WORK/bw4.cnf"
+curl -sf -X PUT "$BASE/formulas/bw4" --data-binary @"$WORK/bw4.cnf" >/dev/null \
+  || fail "PUT formula"
+
+for lit in 1 -1 2 -2; do
+  status=$(curl -sf -X POST "$BASE/formulas/bw4/solve" \
+    -H 'Content-Type: application/json' -d "{\"assumptions\":[$lit]}" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["status"])')
+  case "$status" in
+    SATISFIABLE|UNSATISFIABLE) ;;
+    *) fail "assume $lit returned $status" ;;
+  esac
+done
+echo "assumption queries OK"
+
+# ---- batch endpoint over the small generated suite -------------------------
+# Each small-suite instance goes through /solve/batch as an inline formula
+# with a spread of single-literal queries; every verdict must be definitive.
+go run ./cmd/satgen -family hole -n 5 -out "$WORK/hole5.cnf"
+go run ./cmd/satgen -family queens -n 6 -out "$WORK/queens6.cnf"
+go run ./cmd/satgen -family parity -n 8 -out "$WORK/parity8.cnf"
+
+batches=0
+for cnf in "$WORK"/*.cnf; do
+  python3 - "$cnf" <<'EOF' > "$WORK/batch.json"
+import json, sys
+formula = open(sys.argv[1]).read()
+queries = [[lit] for v in range(1, 5) for lit in (v, -v)]
+json.dump({"formula": formula, "queries": queries}, sys.stdout)
+EOF
+  curl -sf -X POST "$BASE/solve/batch" -H 'Content-Type: application/json' \
+    --data-binary @"$WORK/batch.json" > "$WORK/batch.out" || fail "batch on $cnf"
+  python3 - "$WORK/batch.out" "$cnf" <<'EOF'
+import json, sys
+results = json.load(open(sys.argv[1]))["results"]
+assert len(results) == 8, f"{sys.argv[2]}: {len(results)} results, want 8"
+for r in results:
+    assert r["status"] in ("SATISFIABLE", "UNSATISFIABLE"), f"{sys.argv[2]}: {r}"
+EOF
+  batches=$((batches + 1))
+done
+echo "batch endpoint OK ($batches formulas x 8 queries)"
+
+# ---- one-shot with a verified artifact shape -------------------------------
+proof_status=$(python3 -c '
+import json
+print(json.dumps({"formula": open("'"$WORK"'/hole5.cnf").read(), "proof": True}))' \
+  | curl -sf -X POST "$BASE/solve" -H 'Content-Type: application/json' --data-binary @- \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["status"] == "UNSATISFIABLE", r["status"]
+assert r.get("proof"), "no DRUP proof in one-shot reply"
+print("ok")')
+[ "$proof_status" = ok ] || fail "one-shot proof"
+echo "one-shot + DRUP proof OK"
+
+# ---- deadline: a served answer, not an error -------------------------------
+go run ./cmd/satgen -family hole -n 9 -out "$WORK/hole9.cnf"
+curl -sf -X PUT "$BASE/formulas/hole9" --data-binary @"$WORK/hole9.cnf" >/dev/null
+python3 -c 'print(r"""{"timeout_ms": 50}""")' \
+  | curl -sf -X POST "$BASE/formulas/hole9/solve" -H 'Content-Type: application/json' --data-binary @- \
+  | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["status"] == "UNKNOWN" and r["stop"] == "interrupted", r'
+echo "deadline handling OK"
+
+# ---- /metrics reconciles ---------------------------------------------------
+curl -sf "$BASE/metrics" > "$WORK/metrics.out"
+python3 - "$WORK/metrics.out" "$batches" <<'EOF'
+import sys
+metrics = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    key, _, val = line.rpartition(" ")
+    metrics[key] = float(val)
+batches = int(sys.argv[2])
+solves = sum(v for k, v in metrics.items() if k.startswith("satserved_solves_total{"))
+# 4 assumption queries + 8 per batch + 1 one-shot + 1 deadline query.
+want = 4 + 8 * batches + 1 + 1
+assert solves == want, f"solves_total sums to {solves}, want {want}"
+assert metrics['satserved_requests_total{endpoint="batch"}'] == batches
+assert metrics["satserved_shed_total"] == 0, "unexpected shedding in smoke"
+assert metrics["satserved_inflight_solves"] == 0, "jobs still in flight"
+assert metrics["satserved_pool_hits_total"] > 0, "pools never recycled a solver"
+print(f"metrics reconcile: {int(solves)} solves, "
+      f"{int(metrics['satserved_pool_hits_total'])} pool hits")
+EOF
+
+# ---- graceful shutdown -----------------------------------------------------
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero on SIGTERM"
+DAEMON_PID=0
+echo "SMOKE PASS"

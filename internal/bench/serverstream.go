@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"berkmin"
+	"berkmin/internal/gen"
+	"berkmin/internal/server"
+)
+
+// ServerStreamResult compares serving a K-query assumption stream through
+// satserved's HTTP path (PUT the formula once, then POST each query
+// against its warm pool) with answering the same stream on an in-process
+// Snapshot+Pool — the bound the daemon must stay within: the HTTP hop,
+// JSON codec, and queue must not dominate the solving.
+type ServerStreamResult struct {
+	Instance   string
+	Queries    int
+	InProcess  time.Duration // snapshot + pooled solver per query, no HTTP
+	HTTP       time.Duration // same stream through a live satserved daemon
+	Overhead   float64       // HTTP / InProcess
+	Mismatches int           // verdict disagreements between the two paths
+}
+
+// ServerQueryStream measures a K-query stream on both paths and
+// cross-checks every verdict. The daemon listens on a loopback port; the
+// client reuses one keep-alive connection, mirroring a well-behaved
+// query-stream consumer.
+func ServerQueryStream(inst gen.Instance, queries int, simp bool) (ServerStreamResult, error) {
+	res := ServerStreamResult{Instance: inst.Name, Queries: queries}
+
+	// In-process reference: the pooled half of QueryStream.
+	front := berkmin.New()
+	if simp {
+		so := berkmin.DefaultSimplifyOptions()
+		front.SetSimplify(&so)
+	}
+	if err := front.AddFormula(inst.Formula); err != nil {
+		return res, err
+	}
+	pool := front.Snapshot().NewPool()
+	inProcess := make([]berkmin.Status, queries)
+	start := time.Now()
+	for q := 0; q < queries; q++ {
+		w := pool.Get()
+		inProcess[q] = w.SolveAssuming(queryLit(inst.Formula.NumVars, q)).Status
+		pool.Put(w)
+	}
+	res.InProcess = time.Since(start)
+
+	// The daemon, on a loopback listener.
+	srv := server.New(server.Config{SkipSimplify: !simp})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	var dimacs bytes.Buffer
+	if err := berkmin.WriteDimacs(&dimacs, inst.Formula); err != nil {
+		return res, err
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/formulas/stream", &dimacs)
+	if err != nil {
+		return res, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return res, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("PUT formula: HTTP %d", resp.StatusCode)
+	}
+
+	type reply struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	start = time.Now()
+	for q := 0; q < queries; q++ {
+		body, _ := json.Marshal(struct {
+			Assumptions []int `json:"assumptions"`
+		}{[]int{queryLit(inst.Formula.NumVars, q)}})
+		resp, err := client.Post(base+"/formulas/stream/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return res, err
+		}
+		var rep reply
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			return res, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return res, fmt.Errorf("query %d: HTTP %d (%s)", q, resp.StatusCode, rep.Error)
+		}
+		if rep.Status != inProcess[q].String() {
+			res.Mismatches++
+		}
+	}
+	res.HTTP = time.Since(start)
+	res.Overhead = float64(res.HTTP) / float64(res.InProcess)
+	return res, nil
+}
+
+// RenderServerStream formats the comparison as a small report table.
+func RenderServerStream(r ServerStreamResult) string {
+	s := fmt.Sprintf("Server query stream: %d assumption solves on %s\n", r.Queries, r.Instance)
+	s += fmt.Sprintf("  in-process pool:  %v\n", r.InProcess)
+	s += fmt.Sprintf("  satserved (HTTP): %v\n", r.HTTP)
+	s += fmt.Sprintf("  overhead:         %.2fx\n", r.Overhead)
+	if r.Mismatches > 0 {
+		s += fmt.Sprintf("  VERDICT MISMATCHES: %d\n", r.Mismatches)
+	}
+	return s
+}

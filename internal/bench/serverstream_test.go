@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+
+	"berkmin"
+	"berkmin/internal/server"
+)
+
+// TestServerQueryStreamAgrees: the HTTP path serves the same verdicts as
+// the in-process pool, and stays within the acceptance bound (2x the
+// in-process time on the medium 256-query workload; the small workload
+// here keeps the tier-1 run fast — the medium bound is checked by the CI
+// bench job via BenchmarkServerQueryStream and the smoke script).
+func TestServerQueryStreamAgrees(t *testing.T) {
+	r, err := ServerQueryStream(QueryStreamInstance(Small), 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mismatches != 0 {
+		t.Fatalf("%d verdict mismatches between HTTP and in-process paths", r.Mismatches)
+	}
+	if r.InProcess <= 0 || r.HTTP <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+}
+
+// BenchmarkServerQueryStream guards the steady-state cost of one pooled
+// query through the full daemon path: HTTP round-trip, JSON codec, queue,
+// warm solver. Its ratio to BenchmarkQueryStream is the serving overhead.
+func BenchmarkServerQueryStream(b *testing.B) {
+	inst := QueryStreamInstance(Small)
+	srv := server.New(server.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	var dimacs bytes.Buffer
+	if err := berkmin.WriteDimacs(&dimacs, inst.Formula); err != nil {
+		b.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, base+"/formulas/bench", &dimacs)
+	resp, err := client.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("PUT: HTTP %d", resp.StatusCode)
+	}
+
+	numVars := inst.Formula.NumVars
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _ := json.Marshal(struct {
+			Assumptions []int `json:"assumptions"`
+		}{[]int{queryLit(numVars, i)}})
+		resp, err := client.Post(base+"/formulas/bench/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rep struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || rep.Status == "" {
+			b.Fatalf("query %d: HTTP %d, status %q", i, resp.StatusCode, rep.Status)
+		}
+	}
+}

@@ -614,6 +614,11 @@ func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
 // outside the search loop.
 func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
 
+// Dead reports whether unsatisfiability has been established at level 0
+// (an empty clause was added or derived): further clauses are no-ops and
+// every solve answers UNSAT immediately.
+func (s *Solver) Dead() bool { return !s.ok }
+
 // SetMaxTime changes the per-call wall-clock budget (Options.MaxTime; 0 =
 // unlimited). Must be called between Solve calls, from the solving
 // goroutine. Front-ends use it to deduct time already spent preprocessing

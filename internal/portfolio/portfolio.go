@@ -8,6 +8,7 @@
 package portfolio
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -232,11 +233,29 @@ func memberOptions(o core.Options, opt Options) core.Options {
 }
 
 // race wires the clause-sharing hub into the prepared members and runs
-// them to the first definitive answer, interrupting the rest. All members
-// are always waited for before returning, so no goroutine outlives the
-// call. The winning model (if any) is in the members' variable space —
-// reconstruction and verification stay with the caller.
-func race(solvers []*core.Solver, cfgs []Config, opt Options) Result {
+// them to the first definitive answer, interrupting the rest. When ctx can
+// fire, a watcher interrupts every member on cancellation (the members are
+// throwaway, so no ClearInterrupt is needed); the watcher is joined before
+// returning. All members are always waited for before returning, so no
+// goroutine outlives the call. The winning model (if any) is in the
+// members' variable space — reconstruction and verification stay with the
+// caller.
+func race(ctx context.Context, solvers []*core.Solver, cfgs []Config, opt Options) Result {
+	if ctx.Done() != nil {
+		quit := make(chan struct{})
+		watcher := make(chan struct{})
+		go func() {
+			defer close(watcher)
+			select {
+			case <-ctx.Done():
+				for _, s := range solvers {
+					s.Interrupt()
+				}
+			case <-quit:
+			}
+		}()
+		defer func() { close(quit); <-watcher }()
+	}
 	n := len(solvers)
 	shareLen := opt.ShareMaxLen
 	if shareLen == 0 {
@@ -310,6 +329,14 @@ func race(solvers []*core.Solver, cfgs []Config, opt Options) Result {
 // Clone of it reconfigured to its own heuristics and seed — members never
 // re-feed clauses.
 func Solve(f *cnf.Formula, opt Options) Result {
+	return SolveContext(context.Background(), f, opt)
+}
+
+// SolveContext is Solve with cancellation: when ctx fires, preprocessing
+// stops at its next pass boundary, every member is interrupted, and the
+// result reports StopInterrupted. Mapping that onto errors (or HTTP codes)
+// stays with the caller.
+func SolveContext(ctx context.Context, f *cnf.Formula, opt Options) Result {
 	orig := f
 	var simplified *simplify.Outcome
 	var preSpent time.Duration
@@ -317,8 +344,13 @@ func Solve(f *cnf.Formula, opt Options) Result {
 		// Bound preprocessing by the same wall-clock budget as the members
 		// and deduct what it uses, so MaxTime stays an end-to-end limit
 		// for the whole call; the time spent is charged to the returned
-		// Runtime like the sequential front-end does.
-		simplified, preSpent, opt.MaxTime = simplify.Run(f, *opt.Simplify, opt.MaxTime, nil)
+		// Runtime like the sequential front-end does. A fired context
+		// stops preprocessing at the next pass boundary.
+		var interrupted func() bool
+		if ctx.Done() != nil {
+			interrupted = func() bool { return ctx.Err() != nil }
+		}
+		simplified, preSpent, opt.MaxTime = simplify.Run(f, *opt.Simplify, opt.MaxTime, interrupted)
 		if simplified.Unsat {
 			// Preprocessing alone refuted the formula; no race needed.
 			return Result{
@@ -339,7 +371,7 @@ func Solve(f *cnf.Formula, opt Options) Result {
 		solvers[i] = s
 	}
 
-	res := race(solvers, cfgs, opt)
+	res := race(ctx, solvers, cfgs, opt)
 	res.Stats.Runtime += preSpent
 	if res.Status == core.StatusSat {
 		if simplified != nil {
@@ -364,6 +396,12 @@ func Solve(f *cnf.Formula, opt Options) Result {
 // the base's variable space — model reconstruction (and verification)
 // against any original formula stays with the caller.
 func SolveFromSolver(base *core.Solver, opt Options) Result {
+	return SolveFromSolverContext(context.Background(), base, opt)
+}
+
+// SolveFromSolverContext is SolveFromSolver with cancellation, as in
+// SolveContext.
+func SolveFromSolverContext(ctx context.Context, base *core.Solver, opt Options) Result {
 	cfgs := opt.configs()
 	solvers := make([]*core.Solver, len(cfgs))
 	for i := range cfgs {
@@ -371,5 +409,5 @@ func SolveFromSolver(base *core.Solver, opt Options) Result {
 		s.Reconfigure(memberOptions(cfgs[i].Opt, opt))
 		solvers[i] = s
 	}
-	return race(solvers, cfgs, opt)
+	return race(ctx, solvers, cfgs, opt)
 }

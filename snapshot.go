@@ -1,6 +1,7 @@
 package berkmin
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -139,13 +140,47 @@ func (s *Solver) Clone() *Solver {
 // paying a clone each time: Get hands out a reset solver (cloning a new
 // one only when the pool is empty), Put resets and recycles it.
 type Pool struct {
-	snap *Snapshot
-	mu   sync.Mutex
-	free []*Solver
+	snap    *Snapshot
+	mu      sync.Mutex
+	free    []*Solver
+	maxIdle int // cap on len(free); 0 = unlimited
+	stats   PoolStats
+}
+
+// PoolStats describes a pool's recycling effectiveness. All counters are
+// cumulative over the pool's lifetime.
+type PoolStats struct {
+	// Hits counts Get calls served from the free list; Misses counts Get
+	// calls that had to derive a fresh solver from the snapshot.
+	Hits, Misses uint64
+	// Dropped counts Put calls that discarded the solver instead of
+	// recycling it (diverged formula, attached proof writer, or the
+	// SetMaxIdle cap).
+	Dropped uint64
+	// Idle is the current free-list size (a gauge, not a counter).
+	Idle int
 }
 
 // NewPool returns an empty pool over the snapshot.
 func (sn *Snapshot) NewPool() *Pool { return &Pool{snap: sn} }
+
+// SetMaxIdle caps the number of idle solvers the pool retains; Put drops
+// excess solvers instead of recycling them. n <= 0 means unlimited (the
+// default). Shrinking the cap takes effect lazily, at the next Put.
+func (p *Pool) SetMaxIdle(n int) {
+	p.mu.Lock()
+	p.maxIdle = n
+	p.mu.Unlock()
+}
+
+// Stats returns a point-in-time copy of the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	st := p.stats
+	st.Idle = len(p.free)
+	p.mu.Unlock()
+	return st
+}
 
 // Get returns a solver loaded with the snapshot's formula, in post-load
 // state — either recycled from a previous Put or freshly derived.
@@ -155,26 +190,38 @@ func (p *Pool) Get() *Solver {
 		s := p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
+		p.stats.Hits++
 		p.mu.Unlock()
 		return s
 	}
+	p.stats.Misses++
 	p.mu.Unlock()
 	return p.snap.NewSolver()
 }
 
 // Put recycles a solver obtained from Get, resetting it for the next
-// caller. Solvers that have diverged from the snapshot's formula — extra
-// clauses added, or a proof writer attached — are dropped instead of
-// recycled, so handing a modified solver back is safe but not a reuse.
+// caller — including clearing a pending Interrupt, so a solver whose last
+// solve was cancelled (via Interrupt or a context) serves the next Get
+// like a fresh one. Solvers that have diverged from the snapshot's formula
+// — extra clauses added, or a proof writer attached — are dropped instead
+// of recycled, so handing a modified solver back is safe but not a reuse.
 func (p *Pool) Put(s *Solver) {
 	if s == nil {
 		return
 	}
 	if s.proofW != nil || len(s.pristine.Clauses) != len(p.snap.pristine.Clauses) {
+		p.mu.Lock()
+		p.stats.Dropped++
+		p.mu.Unlock()
 		return
 	}
 	s.Reset()
 	p.mu.Lock()
+	if p.maxIdle > 0 && len(p.free) >= p.maxIdle {
+		p.stats.Dropped++
+		p.mu.Unlock()
+		return
+	}
 	p.free = append(p.free, s)
 	p.mu.Unlock()
 }
@@ -186,7 +233,11 @@ func (p *Pool) Put(s *Solver) {
 // preprocessing (or lack of it) is what the members search on. The
 // snapshot remains untouched and reusable.
 func (sn *Snapshot) SolveParallel(opt ParallelOptions) ParallelResult {
-	r := portfolio.SolveFromSolver(sn.master, portfolio.Options{
+	return sn.solveParallel(context.Background(), opt)
+}
+
+func (sn *Snapshot) solveParallel(ctx context.Context, opt ParallelOptions) ParallelResult {
+	r := portfolio.SolveFromSolverContext(ctx, sn.master, portfolio.Options{
 		Jobs:         opt.Jobs,
 		ShareMaxLen:  opt.ShareMaxLen,
 		ShareMaxGlue: opt.ShareMaxGlue,
