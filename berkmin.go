@@ -84,6 +84,19 @@ var (
 	// (subsumption, self-subsuming resolution, vivification at restart
 	// boundaries) enabled — an extension beyond the paper.
 	InprocessingOptions = core.InprocessingOptions
+	// TieredOptions is BerkMin with the glue-aware three-tier learnt-clause
+	// database, Luby restarts and phase saving — an extension beyond the
+	// paper.
+	TieredOptions = core.TieredOptions
+	// EvsidsOptions replaces BerkMin branching with exponential VSIDS
+	// (MiniSat-style float activities) — an extension beyond the paper.
+	EvsidsOptions = core.EvsidsOptions
+	// LrbOptions replaces BerkMin branching with the learning-rate-based
+	// heuristic of MapleSAT — an extension beyond the paper.
+	LrbOptions = core.LrbOptions
+	// ModernOptions combines the tiered database, Luby restarts, phase
+	// saving and EVSIDS branching — the solver's most contemporary profile.
+	ModernOptions = core.ModernOptions
 )
 
 // Solver is a CDCL SAT solver over DIMACS-style signed integer literals.

@@ -10,8 +10,9 @@
 // The -config flag selects the paper's configurations: berkmin (default),
 // less-sensitivity, less-mobility, limited-keeping, chaff, limmat, the
 // branch-selection ablations sat-top, unsat-top, take-0, take-1, take-rand,
-// or tiered — the modern extension (glue-aware three-tier learnt database,
-// Luby restarts with glue-based postponement, phase saving).
+// or the modern extensions — tiered (glue-aware three-tier learnt database,
+// Luby restarts with glue-based postponement, phase saving), evsids and lrb
+// (alternative branching heuristics), and modern (tiered + EVSIDS).
 package main
 
 import (
@@ -46,6 +47,12 @@ func configByName(name string) (core.Options, bool) {
 		return core.LimmatOptions(), true
 	case "tiered":
 		return core.TieredOptions(), true
+	case "evsids":
+		return core.EvsidsOptions(), true
+	case "lrb":
+		return core.LrbOptions(), true
+	case "modern":
+		return core.ModernOptions(), true
 	case "sat-top":
 		return core.BranchOptions(core.PolaritySatTop), true
 	case "unsat-top":
@@ -62,7 +69,7 @@ func configByName(name string) (core.Options, bool) {
 
 func run() int {
 	var (
-		configName   = flag.String("config", "berkmin", "solver configuration (berkmin, less-sensitivity, less-mobility, limited-keeping, chaff, limmat, tiered, sat-top, unsat-top, take-0, take-1, take-rand)")
+		configName   = flag.String("config", "berkmin", "solver configuration (berkmin, less-sensitivity, less-mobility, limited-keeping, chaff, limmat, tiered, evsids, lrb, modern, sat-top, unsat-top, take-0, take-1, take-rand)")
 		maxConflicts = flag.Uint64("max-conflicts", 0, "abort after this many conflicts (0 = unlimited)")
 		timeout      = flag.Duration("timeout", 0, "abort after this wall-clock time (0 = unlimited)")
 		seed         = flag.Uint64("seed", 1, "PRNG seed (deterministic reruns)")

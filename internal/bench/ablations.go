@@ -204,6 +204,34 @@ func AblationTieredDB(sc Scale, lim Limits) *Report {
 		})
 }
 
+// AblationBranching is the ISSUE-8 branching-plane ablation: the paper's
+// BerkMin heuristic (top-clause + responsible bumping) against its own
+// strategy-3 variant, the chaff literal-counter heuristic with and without
+// the heap-backed pick, and the two modern deciders (EVSIDS, LRB) — ending
+// at the full ModernOptions profile (tiered DB + Luby + phase saving +
+// EVSIDS). Everything but the decider is held at defaults, so the deltas
+// isolate branching.
+func AblationBranching(sc Scale, lim Limits) *Report {
+	s3 := core.DefaultOptions()
+	s3.OptimizedGlobalPick = true
+	chaffHeap := core.ChaffOptions()
+	chaffHeap.OptimizedGlobalPick = true
+	cfgs := []Config{
+		{Name: "berkmin", Opt: core.DefaultOptions()},
+		{Name: "berkmin-s3", Opt: s3},
+		{Name: "chaff-scan", Opt: core.ChaffOptions()},
+		{Name: "chaff-heap", Opt: chaffHeap},
+		{Name: "evsids", Opt: core.EvsidsOptions()},
+		{Name: "lrb", Opt: core.LrbOptions()},
+		{Name: "modern", Opt: core.ModernOptions()},
+	}
+	return ablationReport("Ablation — branching heuristics: BerkMin vs EVSIDS vs LRB (extension; see README)",
+		cfgs, sc, lim, []string{
+			"chaff-heap: same heuristic as chaff-scan with the O(n) counter scan replaced by the activity heap",
+			"modern: tiered DB + Luby + phase saving + EVSIDS (ModernOptions)",
+		})
+}
+
 // AblationPhaseSaving measures phase saving against the paper's §7
 // polarity heuristics.
 func AblationPhaseSaving(sc Scale, lim Limits) *Report {
@@ -235,12 +263,14 @@ func Ablation(name string, sc Scale, lim Limits) (*Report, error) {
 		return AblationSimplify(sc, lim), nil
 	case "tiereddb":
 		return AblationTieredDB(sc, lim), nil
+	case "branching":
+		return AblationBranching(sc, lim), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb)", name)
+		return nil, fmt.Errorf("bench: unknown ablation %q (youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb, branching)", name)
 	}
 }
 
 // AblationNames lists the available ablation experiments.
 func AblationNames() []string {
-	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase", "simplify", "tiereddb"}
+	return []string{"youngfrac", "restart", "aging", "nbtwo", "globalpick", "minimize", "phase", "simplify", "tiereddb", "branching"}
 }

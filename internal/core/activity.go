@@ -1,17 +1,29 @@
 package core
 
-// age decays the dynamic activity counters. Chaff periodically divides its
+import "berkmin/internal/cnf"
+
+// bumpVar increments a variable's activity and keeps the strategy-3 heap
+// (when enabled) consistent.
+func (d *berkminDecider) bumpVar(v cnf.Var) {
+	d.varAct[v]++
+	if d.s.opt.OptimizedGlobalPick {
+		d.order.bumped(v)
+	}
+}
+
+// decay ages the dynamic activity counters. Chaff periodically divides its
 // literal counters by a constant so the search focuses on the youngest
 // clauses (§3); BerkMin inherits the idea for its variable activities. The
 // lit_activity counters of §7 are deliberately *not* aged: they count the
 // conflict clauses ever deduced, which is what database symmetrization
-// needs.
-func (s *Solver) age() {
-	d := s.opt.AgingDivisor
-	for v := range s.varAct {
-		s.varAct[v] /= d
+// needs. The uniform division is order-preserving, so the activity heaps
+// stay valid without a rebuild.
+func (d *berkminDecider) decay() {
+	div := d.s.opt.AgingDivisor
+	for v := range d.varAct {
+		d.varAct[v] /= div
 	}
-	for l := range s.chaffAct {
-		s.chaffAct[l] /= d
+	for l := range d.chaffAct {
+		d.chaffAct[l] /= div
 	}
 }

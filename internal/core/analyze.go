@@ -30,13 +30,12 @@ func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 			// Binary antecedent (p ∨ q), literal-encoded: resolve on q
 			// directly, no arena load. Clause activity is not bumped —
 			// binary clauses are never deletion candidates (reduce.go), so
-			// their activity is dead weight — but the §4 sensitivity rule
-			// still bumps both variables.
+			// their activity is dead weight — but the clause is still
+			// responsible for the conflict, so the decider sees it (the §4
+			// sensitivity rule bumps both variables).
 			q := s.binReason[p.Var()]
-			if s.opt.Sensitivity == SensitivityResponsible {
-				s.bumpVar(p.Var())
-				s.bumpVar(q.Var())
-			}
+			s.anteBin[0], s.anteBin[1] = p, q
+			s.dec.onAntecedent(s.anteBin[:])
 			v := q.Var()
 			if !s.seen[v] && s.vlevel[v] != 0 {
 				s.seen[v] = true
@@ -90,16 +89,10 @@ func (s *Solver) analyze(confl clauseRef) ([]cnf.Lit, int) {
 	// distinct-level count is exact. record consumes it via lastGlue.
 	s.lastGlue = s.computeGlue(learnt)
 
-	// Chaff-style activity updates operate on the final learnt clause only.
-	if s.opt.Sensitivity == SensitivityConflictClause {
-		for _, q := range learnt {
-			s.bumpVar(q.Var())
-		}
-	}
-	// Chaff VSIDS literal counters always follow the learnt clause.
-	for _, q := range learnt {
-		s.chaffAct[q]++
-	}
+	// Hand the final learnt clause to the decider while its literals are
+	// still assigned (Chaff-style conflict-clause bumps, VSIDS literal
+	// counters, §7 lit_activity, LRB participation).
+	s.dec.onLearnt(learnt, s.lastGlue)
 
 	// Find the backtrack level: the highest level among the non-asserting
 	// literals; move such a literal to slot 1 so it can be watched.
@@ -144,11 +137,7 @@ func (s *Solver) bumpResponsible(c clauseRef) {
 			}
 		}
 	}
-	if s.opt.Sensitivity == SensitivityResponsible {
-		for _, q := range s.ca.lits(c) {
-			s.bumpVar(q.Var())
-		}
-	}
+	s.dec.onAntecedent(s.ca.lits(c))
 }
 
 // computeGlue returns the clause's glue — the number of distinct decision
@@ -170,15 +159,6 @@ func (s *Solver) computeGlue(lits []cnf.Lit) int {
 		}
 	}
 	return g
-}
-
-// bumpVar increments a variable's activity and keeps the strategy-3 heap
-// (when enabled) consistent.
-func (s *Solver) bumpVar(v cnf.Var) {
-	s.varAct[v]++
-	if s.opt.OptimizedGlobalPick {
-		s.order.bumped(v)
-	}
 }
 
 // minimize removes learnt-clause literals whose negation is implied by the
@@ -220,11 +200,12 @@ func (s *Solver) minimize(learnt []cnf.Lit) []cnf.Lit {
 	return out
 }
 
-// record integrates a freshly learnt clause: it updates lit_activity (§7),
-// pushes the clause on the conflict-clause stack, watches it and asserts
-// its first literal. Unit learnt clauses become level-0 assignments — the
-// paper's "retained assignments" that survive restarts and database
-// cleanings (§8).
+// record integrates a freshly learnt clause: it pushes the clause on the
+// conflict-clause stack, watches it and asserts its first literal (the
+// activity updates — lit_activity included — happened in analyze via the
+// decider's onLearnt hook). Unit learnt clauses become level-0
+// assignments — the paper's "retained assignments" that survive restarts
+// and database cleanings (§8).
 func (s *Solver) record(learnt []cnf.Lit) {
 	if s.debugLearnt != nil {
 		s.debugLearnt(learnt)
@@ -232,9 +213,6 @@ func (s *Solver) record(learnt []cnf.Lit) {
 	s.stats.LearntTotal++
 	glue := s.lastGlue
 	s.noteGlue(glue)
-	for _, l := range learnt {
-		s.litAct[l]++
-	}
 	s.exportLearnt(learnt, glue)
 	s.proofAdd(learnt)
 	if len(learnt) == 1 {

@@ -58,7 +58,7 @@ func TestPaperSection4Example(t *testing.T) {
 	// §4's activity accounting over the responsible clauses.
 	wantAct := map[cnf.Var]int64{a: 2, x: 2, c: 2, z: 2, y: 1}
 	for v, wa := range wantAct {
-		if got := s.varAct[v]; got != wa {
+		if got := bm(s).varAct[v]; got != wa {
 			t.Errorf("var_activity(%d) = %d, want %d", v, got, wa)
 		}
 	}
@@ -94,31 +94,32 @@ func TestLessSensitivityBumpsConflictClauseOnly(t *testing.T) {
 	s.analyze(confl)
 	wantAct := map[cnf.Var]int64{a: 0, x: 1, c: 0, z: 1, y: 1}
 	for v, wa := range wantAct {
-		if got := s.varAct[v]; got != wa {
+		if got := bm(s).varAct[v]; got != wa {
 			t.Errorf("var_activity(%d) = %d, want %d", v, got, wa)
 		}
 	}
 }
 
 // TestRecordUpdatesLitActivity checks §7's lit_activity counters: one
-// increment per literal of each recorded conflict clause, never decayed.
+// increment per literal of each learnt conflict clause (the decider's
+// onLearnt hook, fired by analyze), never decayed.
 func TestRecordUpdatesLitActivity(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(4)
-	s.record([]cnf.Lit{cnf.PosLit(1), cnf.NegLit(2)})
-	s.record([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(3)})
-	if s.litAct[cnf.PosLit(1)] != 2 {
-		t.Fatalf("lit_activity(1) = %d", s.litAct[cnf.PosLit(1)])
+	bm(s).onLearnt([]cnf.Lit{cnf.PosLit(1), cnf.NegLit(2)}, 1)
+	bm(s).onLearnt([]cnf.Lit{cnf.PosLit(1), cnf.PosLit(3)}, 1)
+	if bm(s).litAct[cnf.PosLit(1)] != 2 {
+		t.Fatalf("lit_activity(1) = %d", bm(s).litAct[cnf.PosLit(1)])
 	}
-	if s.litAct[cnf.NegLit(2)] != 1 || s.litAct[cnf.PosLit(3)] != 1 {
+	if bm(s).litAct[cnf.NegLit(2)] != 1 || bm(s).litAct[cnf.PosLit(3)] != 1 {
 		t.Fatal("lit_activity wrong")
 	}
-	if s.litAct[cnf.NegLit(1)] != 0 {
+	if bm(s).litAct[cnf.NegLit(1)] != 0 {
 		t.Fatal("complement literal must not be bumped")
 	}
 	// Aging must not touch lit_activity.
-	s.age()
-	if s.litAct[cnf.PosLit(1)] != 2 {
+	bm(s).decay()
+	if bm(s).litAct[cnf.PosLit(1)] != 2 {
 		t.Fatal("lit_activity must never be aged")
 	}
 }
@@ -129,14 +130,14 @@ func TestAgingDecaysVarAndChaffCounters(t *testing.T) {
 	o.AgingDivisor = 4
 	s := New(o)
 	s.ensureVars(2)
-	s.varAct[1] = 17
-	s.chaffAct[cnf.PosLit(2)] = 9
-	s.age()
-	if s.varAct[1] != 4 {
-		t.Fatalf("varAct = %d, want 17/4 = 4", s.varAct[1])
+	bm(s).varAct[1] = 17
+	bm(s).chaffAct[cnf.PosLit(2)] = 9
+	bm(s).decay()
+	if bm(s).varAct[1] != 4 {
+		t.Fatalf("varAct = %d, want 17/4 = 4", bm(s).varAct[1])
 	}
-	if s.chaffAct[cnf.PosLit(2)] != 2 {
-		t.Fatalf("chaffAct = %d, want 9/4 = 2", s.chaffAct[cnf.PosLit(2)])
+	if bm(s).chaffAct[cnf.PosLit(2)] != 2 {
+		t.Fatalf("chaffAct = %d, want 9/4 = 2", bm(s).chaffAct[cnf.PosLit(2)])
 	}
 }
 

@@ -259,3 +259,100 @@ func BenchmarkSolveSat(b *testing.B) {
 		}
 	}
 }
+
+// decideBenchSolver builds a solver with enough clause structure that every
+// polarity rule (nb_two counts, phases, literal counters) has real data,
+// without any search having run.
+func decideBenchSolver(opt Options, n int) *Solver {
+	s := New(opt)
+	for i := 1; i < n; i++ {
+		s.AddClause(cnf.NewClause(-i, i+1))
+	}
+	for i := 1; i+2 < n; i += 3 {
+		s.AddClause(cnf.NewClause(-i, i+1, i+2))
+	}
+	return s
+}
+
+// BenchmarkDecide measures the full branching descent of every decider
+// family: one op picks variables (without propagation) until the formula is
+// fully assigned, then backtracks to level 0. chaff-scan is the paper's
+// O(nVars) literal-counter scan; chaff-heap routes the same heuristic
+// through the activity heap (Options.OptimizedGlobalPick) — the before /
+// after pair for that optimization. The heap-backed deciders must report 0
+// allocs/op at steady state.
+func BenchmarkDecide(b *testing.B) {
+	const n = 512
+	s3 := DefaultOptions()
+	s3.OptimizedGlobalPick = true
+	chaffHeap := ChaffOptions()
+	chaffHeap.OptimizedGlobalPick = true
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"berkmin", DefaultOptions()},
+		{"berkmin-heap", s3},
+		{"chaff-scan", ChaffOptions()},
+		{"chaff-heap", chaffHeap},
+		{"evsids", EvsidsOptions()},
+		{"lrb", LrbOptions()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := decideBenchSolver(tc.opt, n)
+			descend := func() {
+				assigned := 0
+				for {
+					l := s.dec.pick()
+					if l == cnf.LitUndef {
+						break
+					}
+					s.newDecisionLevel()
+					s.enqueue(l, refUndef)
+					assigned++
+				}
+				if assigned != n {
+					b.Fatalf("descent assigned %d of %d vars", assigned, n)
+				}
+				s.cancelUntil(0)
+			}
+			descend() // steady state: trail and heaps at final capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				descend()
+			}
+		})
+	}
+}
+
+// BenchmarkBumpDecay measures the conflict-side cost of each decider: one
+// op replays an antecedent bump, a learnt-clause bump, the per-conflict
+// hook and a decay pass over a 512-variable state. All three families must
+// report 0 allocs/op — the CI bench job gates on this.
+func BenchmarkBumpDecay(b *testing.B) {
+	const n = 512
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"berkmin", DefaultOptions()},
+		{"evsids", EvsidsOptions()},
+		{"lrb", LrbOptions()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := decideBenchSolver(tc.opt, n)
+			lits := []cnf.Lit{
+				cnf.PosLit(3), cnf.NegLit(100), cnf.PosLit(257), cnf.NegLit(400),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.dec.onAntecedent(lits)
+				s.dec.onLearnt(lits, 2)
+				s.dec.onConflict()
+				s.dec.decay()
+			}
+		})
+	}
+}

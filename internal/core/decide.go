@@ -2,33 +2,113 @@ package core
 
 import "berkmin/internal/cnf"
 
-// decide picks the next branching literal, or LitUndef when every variable
-// is assigned (a model has been found). It implements §5 (mobility: branch
-// on the current top clause), §7 (branch selection / database
-// symmetrization and the nb_two cost function) and the paper's ablations.
-func (s *Solver) decide() cnf.Lit {
-	switch s.opt.Decision {
-	case DecideChaffLiteral:
-		return s.decideChaff()
-	case DecideGlobalMostActive:
-		return s.decideGlobalMostActive()
-	default:
-		return s.decideBerkMin()
+// berkminDecider is the paper's branching plane: it implements §5
+// (mobility: branch on the current top clause), §7 (branch selection /
+// database symmetrization and the nb_two cost function) and the paper's
+// ablations. One implementation serves all three legacy DecisionModes —
+// they share the same activity state and differ only in the picking rule —
+// so Reconfigure between them keeps the heuristic's memory.
+type berkminDecider struct {
+	s *Solver
+
+	varAct   []int64 // per variable: BerkMin var_activity (§4)
+	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
+	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
+
+	// order is the strategy-3 activity heap over variables (BerkMin561
+	// Remark 1, Options.OptimizedGlobalPick) keyed by varAct.
+	order varHeap
+	// litOrder is the Chaff counterpart over literals, keyed by chaffAct:
+	// active only for DecideChaffLiteral + OptimizedGlobalPick, it replaces
+	// decideChaff's O(nVars·2) scan with a heap pop (see BenchmarkDecide's
+	// chaff-scan vs chaff-heap pair). Tie-breaking differs from the scan's
+	// lowest-literal rule, so it is opt-in rather than the chaff default.
+	litOrder actHeap[cnf.Lit, int64]
+}
+
+func newBerkminDecider(s *Solver) *berkminDecider {
+	d := &berkminDecider{s: s}
+	d.order.act = &d.varAct
+	d.litOrder.act = &d.chaffAct
+	return d
+}
+
+func (d *berkminDecider) hooksAssigns() bool { return false }
+func (d *berkminDecider) onAssign(cnf.Lit)   {}
+func (d *berkminDecider) onConflict()        {}
+
+// chaffHeap reports whether the literal heap is the active pick structure.
+func (d *berkminDecider) chaffHeap() bool {
+	return d.s.opt.Decision == DecideChaffLiteral && d.s.opt.OptimizedGlobalPick
+}
+
+func (d *berkminDecider) onUnassign(v cnf.Var) {
+	if !d.s.opt.OptimizedGlobalPick {
+		return
+	}
+	if d.s.opt.Decision == DecideChaffLiteral {
+		d.litOrder.insert(cnf.PosLit(v))
+		d.litOrder.insert(cnf.NegLit(v))
+		return
+	}
+	d.order.insert(v)
+}
+
+func (d *berkminDecider) onAntecedent(lits []cnf.Lit) {
+	if d.s.opt.Sensitivity != SensitivityResponsible {
+		return
+	}
+	for _, q := range lits {
+		d.bumpVar(q.Var())
 	}
 }
 
-// decideBerkMin: if some conflict clause is unsatisfied, branch on the most
+func (d *berkminDecider) onLearnt(lits []cnf.Lit, glue int) {
+	// Chaff-style activity updates operate on the final learnt clause only.
+	if d.s.opt.Sensitivity == SensitivityConflictClause {
+		for _, q := range lits {
+			d.bumpVar(q.Var())
+		}
+	}
+	// Chaff VSIDS literal counters always follow the learnt clause.
+	ch := d.chaffHeap()
+	for _, q := range lits {
+		d.chaffAct[q]++
+		if ch {
+			d.litOrder.bumped(q)
+		}
+	}
+	// lit_activity (§7): the count of conflict clauses ever containing the
+	// literal, which is what database symmetrization needs; never aged.
+	for _, q := range lits {
+		d.litAct[q]++
+	}
+}
+
+func (d *berkminDecider) pick() cnf.Lit {
+	switch d.s.opt.Decision {
+	case DecideChaffLiteral:
+		return d.pickChaff()
+	case DecideGlobalMostActive:
+		return d.pickGlobalMostActive()
+	default:
+		return d.pickBerkMin()
+	}
+}
+
+// pickBerkMin: if some conflict clause is unsatisfied, branch on the most
 // active free variable of the current top clause (§5); otherwise branch on
 // the most active free variable of the whole formula with nb_two polarity
 // (§7).
-func (s *Solver) decideBerkMin() cnf.Lit {
+func (d *berkminDecider) pickBerkMin() cnf.Lit {
+	s := d.s
 	if c, r := s.currentTopClause(); c != refUndef {
 		s.stats.TopClauseDecisions++
 		s.stats.Skin.record(r)
-		v := s.mostActiveFreeInClause(c)
-		return s.topClausePolarity(v, c)
+		v := d.mostActiveFreeInClause(c)
+		return d.topClausePolarity(v, c)
 	}
-	v := s.mostActiveFreeVar()
+	v := d.mostActiveFreeVar()
 	if v == 0 {
 		return cnf.LitUndef
 	}
@@ -36,11 +116,12 @@ func (s *Solver) decideBerkMin() cnf.Lit {
 	return s.nbTwoPolarity(v)
 }
 
-// decideGlobalMostActive is the Less_mobility ablation (Table 2): the
+// pickGlobalMostActive is the Less_mobility ablation (Table 2): the
 // variable choice ignores the stack, but the polarity logic is unchanged so
 // the ablation isolates variable selection, as in the paper.
-func (s *Solver) decideGlobalMostActive() cnf.Lit {
-	v := s.mostActiveFreeVar()
+func (d *berkminDecider) pickGlobalMostActive() cnf.Lit {
+	s := d.s
+	v := d.mostActiveFreeVar()
 	if v == 0 {
 		return cnf.LitUndef
 	}
@@ -48,17 +129,31 @@ func (s *Solver) decideGlobalMostActive() cnf.Lit {
 		s.stats.TopClauseDecisions++
 		s.stats.Skin.record(r)
 		if s.ca.has(c, cnf.PosLit(v)) || s.ca.has(c, cnf.NegLit(v)) {
-			return s.topClausePolarity(v, c)
+			return d.topClausePolarity(v, c)
 		}
-		return s.litActivityPolarity(v)
+		return d.litActivityPolarity(v)
 	}
 	s.stats.GlobalDecisions++
 	return s.nbTwoPolarity(v)
 }
 
-// decideChaff is Chaff's VSIDS: the free literal with the largest aged
-// conflict-occurrence counter; the literal itself fixes the polarity.
-func (s *Solver) decideChaff() cnf.Lit {
+// pickChaff is Chaff's VSIDS: the free literal with the largest aged
+// conflict-occurrence counter; the literal itself fixes the polarity. With
+// OptimizedGlobalPick the scan is replaced by the literal heap.
+func (d *berkminDecider) pickChaff() cnf.Lit {
+	s := d.s
+	if d.chaffHeap() {
+		for {
+			l := d.litOrder.pop()
+			if l == cnf.LitUndef {
+				return cnf.LitUndef
+			}
+			if s.assigns[l.Var()] == lUndef {
+				s.stats.GlobalDecisions++
+				return l
+			}
+		}
+	}
 	best := cnf.LitUndef
 	bestAct := int64(-1)
 	for v := cnf.Var(1); int(v) <= s.nVars; v++ {
@@ -66,7 +161,7 @@ func (s *Solver) decideChaff() cnf.Lit {
 			continue
 		}
 		for _, l := range [2]cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
-			if a := s.chaffAct[l]; a > bestAct {
+			if a := d.chaffAct[l]; a > bestAct {
 				best, bestAct = l, a
 			}
 		}
@@ -92,7 +187,8 @@ func (s *Solver) currentTopClause() (clauseRef, int) {
 
 // mostActiveFreeInClause returns the free variable of c with the largest
 // var_activity. After BCP an unsatisfied clause always has a free literal.
-func (s *Solver) mostActiveFreeInClause(c clauseRef) cnf.Var {
+func (d *berkminDecider) mostActiveFreeInClause(c clauseRef) cnf.Var {
+	s := d.s
 	var best cnf.Var
 	bestAct := int64(-1)
 	for _, l := range s.ca.lits(c) {
@@ -100,7 +196,7 @@ func (s *Solver) mostActiveFreeInClause(c clauseRef) cnf.Var {
 		if s.assigns[v] != lUndef {
 			continue
 		}
-		if a := s.varAct[v]; a > bestAct || (a == bestAct && v < best) {
+		if a := d.varAct[v]; a > bestAct || (a == bestAct && v < best) {
 			best, bestAct = v, a
 		}
 	}
@@ -110,10 +206,16 @@ func (s *Solver) mostActiveFreeInClause(c clauseRef) cnf.Var {
 // mostActiveFreeVar returns the free variable with the largest var_activity
 // over the whole formula. The paper's main text uses a naive scan; BerkMin561
 // ("strategy 3", Remark 1) optimizes this — enabled by
-// Options.OptimizedGlobalPick via an activity-ordered heap.
-func (s *Solver) mostActiveFreeVar() cnf.Var {
+// Options.OptimizedGlobalPick via the activity-ordered heap.
+func (d *berkminDecider) mostActiveFreeVar() cnf.Var {
+	s := d.s
 	if s.opt.OptimizedGlobalPick {
-		return s.heapPopFree()
+		for {
+			v := d.order.pop()
+			if v == 0 || s.assigns[v] == lUndef {
+				return v
+			}
+		}
 	}
 	var best cnf.Var
 	bestAct := int64(-1)
@@ -121,7 +223,7 @@ func (s *Solver) mostActiveFreeVar() cnf.Var {
 		if s.assigns[v] != lUndef {
 			continue
 		}
-		if a := s.varAct[v]; a > bestAct {
+		if a := d.varAct[v]; a > bestAct {
 			best, bestAct = v, a
 		}
 	}
@@ -146,7 +248,8 @@ func (s *Solver) savedPhase(v cnf.Var) cnf.Lit {
 // topClausePolarity chooses which branch of v to explore first for a
 // decision made on the current top clause c, honoring the configured
 // heuristic (Table 4).
-func (s *Solver) topClausePolarity(v cnf.Var, c clauseRef) cnf.Lit {
+func (d *berkminDecider) topClausePolarity(v cnf.Var, c clauseRef) cnf.Lit {
+	s := d.s
 	if l := s.savedPhase(v); l != cnf.LitUndef {
 		return l
 	}
@@ -169,7 +272,7 @@ func (s *Solver) topClausePolarity(v cnf.Var, c clauseRef) cnf.Lit {
 		}
 		return cnf.NegLit(v)
 	default:
-		return s.litActivityPolarity(v)
+		return d.litActivityPolarity(v)
 	}
 }
 
@@ -178,8 +281,8 @@ func (s *Solver) topClausePolarity(v cnf.Var, c clauseRef) cnf.Lit {
 // so far appeared in fewer conflict clauses. With lit_activity(¬x) >
 // lit_activity(x), branch x=0 is taken first, since clauses learnt under
 // x=0 contain the positive literal x. Ties are broken randomly.
-func (s *Solver) litActivityPolarity(v cnf.Var) cnf.Lit {
-	pos, neg := s.litAct[cnf.PosLit(v)], s.litAct[cnf.NegLit(v)]
+func (d *berkminDecider) litActivityPolarity(v cnf.Var) cnf.Lit {
+	pos, neg := d.litAct[cnf.PosLit(v)], d.litAct[cnf.NegLit(v)]
 	var rare cnf.Lit
 	switch {
 	case pos < neg:
@@ -187,7 +290,7 @@ func (s *Solver) litActivityPolarity(v cnf.Var) cnf.Lit {
 	case neg < pos:
 		rare = cnf.NegLit(v)
 	default:
-		if s.rng.coin() {
+		if d.s.rng.coin() {
 			rare = cnf.PosLit(v)
 		} else {
 			rare = cnf.NegLit(v)
@@ -197,12 +300,96 @@ func (s *Solver) litActivityPolarity(v cnf.Var) cnf.Lit {
 	return rare.Not()
 }
 
+// rebuild grows the activity arrays to n variables and registers the new
+// variables in the active pick heap.
+func (d *berkminDecider) rebuild(n int) {
+	old := len(d.varAct) - 1
+	if old < 0 {
+		old = 0
+	}
+	for len(d.varAct) <= n {
+		d.varAct = append(d.varAct, 0)
+	}
+	for len(d.litAct) <= 2*n+1 {
+		d.litAct = append(d.litAct, 0)
+		d.chaffAct = append(d.chaffAct, 0)
+	}
+	if !d.s.opt.OptimizedGlobalPick {
+		return
+	}
+	if d.s.opt.Decision == DecideChaffLiteral {
+		for v := cnf.Var(old + 1); int(v) <= n; v++ {
+			d.litOrder.insert(cnf.PosLit(v))
+			d.litOrder.insert(cnf.NegLit(v))
+		}
+		return
+	}
+	for v := cnf.Var(old + 1); int(v) <= n; v++ {
+		d.order.insert(v)
+	}
+}
+
+// rearmHeaps rebuilds (or tears down) the pick heaps required by the
+// current options, over the current activity values.
+func (d *berkminDecider) rearmHeaps() {
+	useVarHeap := d.s.opt.OptimizedGlobalPick && d.s.opt.Decision != DecideChaffLiteral
+	useLitHeap := d.chaffHeap()
+	if useVarHeap {
+		d.order.heap = d.order.heap[:0]
+		clear(d.order.pos)
+		for v := cnf.Var(1); int(v) <= d.s.nVars; v++ {
+			d.order.insert(v)
+		}
+	} else {
+		d.order.heap = nil
+		d.order.pos = nil
+	}
+	if useLitHeap {
+		d.litOrder.heap = d.litOrder.heap[:0]
+		clear(d.litOrder.pos)
+		for v := cnf.Var(1); int(v) <= d.s.nVars; v++ {
+			d.litOrder.insert(cnf.PosLit(v))
+			d.litOrder.insert(cnf.NegLit(v))
+		}
+	} else {
+		d.litOrder.heap = nil
+		d.litOrder.pos = nil
+	}
+}
+
+func (d *berkminDecider) reset() {
+	clear(d.varAct)
+	clear(d.litAct)
+	clear(d.chaffAct)
+	d.rearmHeaps()
+}
+
+func (d *berkminDecider) reconfigure() { d.rearmHeaps() }
+
+func (d *berkminDecider) clone(ns *Solver) decider {
+	c := &berkminDecider{
+		s:        ns,
+		varAct:   append([]int64(nil), d.varAct...),
+		litAct:   append([]int64(nil), d.litAct...),
+		chaffAct: append([]int64(nil), d.chaffAct...),
+	}
+	// The heaps key themselves through a pointer to the activity array;
+	// they must point at the clone's copy, not the original's.
+	c.order = cloneHeap(&d.order, &c.varAct)
+	c.litOrder = cloneHeap(&d.litOrder, &c.chaffAct)
+	return c
+}
+
 // nbTwoPolarity implements §7's cost function for decisions made on the
 // original formula: nb_two(l) approximates the BCP power of setting l to 0
 // by counting currently-binary clauses containing l plus, for each such
 // clause (l ∨ v), the currently-binary clauses containing ¬v. The literal
 // with the larger cost is set to 0 (i.e. its negation is enqueued); equal
 // costs pick a random side. Computation stops beyond NbTwoThreshold.
+//
+// It lives on the Solver (the state it reads — binOcc, phases, the PRNG —
+// is solver state), and serves as the shared fallback polarity rule for the
+// EVSIDS and LRB deciders too.
 func (s *Solver) nbTwoPolarity(v cnf.Var) cnf.Lit {
 	if l := s.savedPhase(v); l != cnf.LitUndef {
 		return l

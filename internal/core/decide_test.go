@@ -7,6 +7,10 @@ import (
 	"berkmin/internal/cnf"
 )
 
+// bm returns the solver's installed decider as the legacy berkminDecider;
+// the tests below drive its activity arrays and picking rules directly.
+func bm(s *Solver) *berkminDecider { return s.dec.(*berkminDecider) }
+
 // addLearnt allocates a learnt clause in the arena and pushes it on the
 // conflict-clause stack without attaching watches (decision-heuristic
 // tests drive the stack directly).
@@ -40,13 +44,13 @@ func TestTopClauseSelection(t *testing.T) {
 	}
 
 	// Most active free variable of the top clause wins.
-	s.varAct[3] = 5
-	s.varAct[4] = 9
-	if v := s.mostActiveFreeInClause(mid); v != 4 {
+	bm(s).varAct[3] = 5
+	bm(s).varAct[4] = 9
+	if v := bm(s).mostActiveFreeInClause(mid); v != 4 {
 		t.Fatalf("picked %d, want 4", v)
 	}
-	s.varAct[3] = 9 // tie broken toward the lower variable
-	if v := s.mostActiveFreeInClause(mid); v != 3 {
+	bm(s).varAct[3] = 9 // tie broken toward the lower variable
+	if v := bm(s).mostActiveFreeInClause(mid); v != 3 {
 		t.Fatalf("picked %d, want 3 on tie", v)
 	}
 }
@@ -61,11 +65,11 @@ func TestAllLearntsSatisfiedFallsBackToGlobal(t *testing.T) {
 	addLearnt(s, cnf.PosLit(1), cnf.PosLit(2))
 	s.newDecisionLevel()
 	s.enqueue(cnf.PosLit(1), refUndef)
-	s.varAct[3] = 7
+	bm(s).varAct[3] = 7
 	if c, _ := s.currentTopClause(); c != refUndef {
 		t.Fatal("no unsatisfied learnt expected")
 	}
-	l := s.decideBerkMin()
+	l := bm(s).pickBerkMin()
 	if l.Var() != 3 {
 		t.Fatalf("decision on %v, want variable 3", l)
 	}
@@ -80,13 +84,13 @@ func TestAllLearntsSatisfiedFallsBackToGlobal(t *testing.T) {
 func TestLitActivityPolarity(t *testing.T) {
 	s := New(DefaultOptions())
 	s.ensureVars(1)
-	s.litAct[cnf.PosLit(1)] = 3
-	s.litAct[cnf.NegLit(1)] = 5
-	if l := s.litActivityPolarity(1); l != cnf.NegLit(1) {
+	bm(s).litAct[cnf.PosLit(1)] = 3
+	bm(s).litAct[cnf.NegLit(1)] = 5
+	if l := bm(s).litActivityPolarity(1); l != cnf.NegLit(1) {
 		t.Fatalf("branch = %v, want x1=0 (¬x1)", l)
 	}
-	s.litAct[cnf.PosLit(1)] = 8
-	if l := s.litActivityPolarity(1); l != cnf.PosLit(1) {
+	bm(s).litAct[cnf.PosLit(1)] = 8
+	if l := bm(s).litActivityPolarity(1); l != cnf.PosLit(1) {
 		t.Fatalf("branch = %v, want x1=1", l)
 	}
 }
@@ -101,25 +105,25 @@ func TestPolarityModes(t *testing.T) {
 		return s, c
 	}
 	s, c := mkSolver(PolaritySatTop)
-	if l := s.topClausePolarity(1, c); l != cnf.NegLit(1) {
+	if l := bm(s).topClausePolarity(1, c); l != cnf.NegLit(1) {
 		t.Fatalf("sat_top: %v, want ¬x1 (satisfies the clause)", l)
 	}
 	s, c = mkSolver(PolarityUnsatTop)
-	if l := s.topClausePolarity(1, c); l != cnf.PosLit(1) {
+	if l := bm(s).topClausePolarity(1, c); l != cnf.PosLit(1) {
 		t.Fatalf("unsat_top: %v, want x1", l)
 	}
 	s, c = mkSolver(PolarityTake0)
-	if l := s.topClausePolarity(1, c); l != cnf.NegLit(1) {
+	if l := bm(s).topClausePolarity(1, c); l != cnf.NegLit(1) {
 		t.Fatalf("take_0: %v", l)
 	}
 	s, c = mkSolver(PolarityTake1)
-	if l := s.topClausePolarity(1, c); l != cnf.PosLit(1) {
+	if l := bm(s).topClausePolarity(1, c); l != cnf.PosLit(1) {
 		t.Fatalf("take_1: %v", l)
 	}
 	s, c = mkSolver(PolarityTakeRand)
 	seenPos, seenNeg := false, false
 	for i := 0; i < 64; i++ {
-		switch s.topClausePolarity(1, c) {
+		switch bm(s).topClausePolarity(1, c) {
 		case cnf.PosLit(1):
 			seenPos = true
 		case cnf.NegLit(1):
@@ -304,14 +308,14 @@ func TestNbTwoThresholdStops(t *testing.T) {
 func TestChaffDecisionPicksMaxLiteral(t *testing.T) {
 	s := New(ChaffOptions())
 	s.ensureVars(3)
-	s.chaffAct[cnf.NegLit(2)] = 10
-	s.chaffAct[cnf.PosLit(3)] = 7
-	if l := s.decideChaff(); l != cnf.NegLit(2) {
+	bm(s).chaffAct[cnf.NegLit(2)] = 10
+	bm(s).chaffAct[cnf.PosLit(3)] = 7
+	if l := bm(s).pickChaff(); l != cnf.NegLit(2) {
 		t.Fatalf("chaff decision = %v, want ¬x2", l)
 	}
 	s.newDecisionLevel()
 	s.enqueue(cnf.NegLit(2), refUndef)
-	if l := s.decideChaff(); l != cnf.PosLit(3) {
+	if l := bm(s).pickChaff(); l != cnf.PosLit(3) {
 		t.Fatalf("chaff decision = %v, want x3", l)
 	}
 }
@@ -342,7 +346,7 @@ func TestSkinHistogramDistance(t *testing.T) {
 	for v := 3; v <= 6; v++ {
 		s.enqueue(cnf.PosLit(cnf.Var(v)), refUndef)
 	}
-	s.decideBerkMin()
+	bm(s).pickBerkMin()
 	if s.stats.Skin.At(2) != 1 {
 		t.Fatalf("skin histogram = %v, want f(2) = 1", s.stats.Skin.Counts)
 	}
@@ -361,18 +365,18 @@ func TestStrategy3MatchesNaive(t *testing.T) {
 	opt3.ensureVars(10)
 	acts := []int64{0, 3, 9, 1, 9, 2, 0, 7, 4, 9, 5}
 	for v := 1; v <= 10; v++ {
-		naive.varAct[v] = acts[v]
-		opt3.varAct[v] = acts[v]
+		bm(naive).varAct[v] = acts[v]
+		bm(opt3).varAct[v] = acts[v]
 		for i := int64(0); i < acts[v]; i++ {
-			opt3.order.bumped(cnf.Var(v))
+			bm(opt3).order.bumped(cnf.Var(v))
 		}
 	}
 	// The heap may pop any of the maximally active vars; both must report
 	// an activity-9 variable.
-	nv := naive.mostActiveFreeVar()
-	ov := opt3.mostActiveFreeVar()
-	if naive.varAct[nv] != 9 || opt3.varAct[ov] != 9 {
-		t.Fatalf("naive=%d(%d) opt=%d(%d)", nv, naive.varAct[nv], ov, opt3.varAct[ov])
+	nv := bm(naive).mostActiveFreeVar()
+	ov := bm(opt3).mostActiveFreeVar()
+	if bm(naive).varAct[nv] != 9 || bm(opt3).varAct[ov] != 9 {
+		t.Fatalf("naive=%d(%d) opt=%d(%d)", nv, bm(naive).varAct[nv], ov, bm(opt3).varAct[ov])
 	}
 }
 
@@ -386,7 +390,7 @@ func TestPhaseColdStartFallsBackToNbTwo(t *testing.T) {
 	s := New(o)
 	s.AddClause(cnf.NewClause(1, 2))
 	s.AddClause(cnf.NewClause(1, 3))
-	s.varAct[1] = 100 // make x1 the global pick
+	bm(s).varAct[1] = 100 // make x1 the global pick
 	if got := s.decide(); got != cnf.NegLit(1) {
 		t.Fatalf("cold-start decision = %v, want %v (nb_two fallback)", got, cnf.NegLit(1))
 	}
@@ -401,7 +405,7 @@ func TestPhaseSavingRepicksAfterRestart(t *testing.T) {
 	s := New(o)
 	s.AddClause(cnf.NewClause(1, 2))
 	s.AddClause(cnf.NewClause(1, 3))
-	s.varAct[1] = 100
+	bm(s).varAct[1] = 100
 	// Assign x1 = true — the opposite of the nb_two cold-start choice — so
 	// the re-pick below can only come from the saved phase.
 	s.newDecisionLevel()
@@ -432,7 +436,7 @@ func TestPhaseSavingTopClauseDecision(t *testing.T) {
 	s.AddClause(cnf.NewClause(1, 2, 3))
 	// An unsatisfied learnt clause makes (x4 ∨ x5) the current top clause.
 	c := mkLearnt(s, 4, 2, 0)
-	s.varAct[4] = 50
+	bm(s).varAct[4] = 50
 	// Saved phase: x4 was last false.
 	s.phase[4] = lFalse
 	if top, _ := s.currentTopClause(); top != c {

@@ -2,29 +2,36 @@ package core
 
 import "berkmin/internal/cnf"
 
-// varHeap is an indexed max-heap over variables keyed by var_activity. It
-// implements "strategy 3" of BerkMin561 (Remark 1): an optimized
-// most-active-free-variable pick replacing the naive scan of the main text.
-// Aging divides every activity by the same constant, which is monotone, so
-// the heap order survives decay without a rebuild.
-type varHeap struct {
-	act  *[]int64
-	heap []cnf.Var
-	pos  []int32 // pos[v] is index+1 in heap, 0 = absent
+// activityKey is the key type of an actHeap: the legacy BerkMin/Chaff
+// counters are integers, EVSIDS and LRB keep float activities.
+type activityKey interface {
+	~int64 | ~float64
 }
 
-func (h *varHeap) less(i, j int) bool {
+// actHeap is an indexed max-heap over variables (or literals — anything
+// int32-indexed) keyed by an external activity array. It generalizes
+// "strategy 3" of BerkMin561 (Remark 1): an optimized most-active pick
+// replacing a naive scan. Uniform monotone rescaling of every key (aging
+// divides all counters by one constant, EVSIDS multiplies all activities
+// by one constant) preserves the heap order without a rebuild.
+type actHeap[I ~int32, K activityKey] struct {
+	act  *[]K
+	heap []I
+	pos  []int32 // pos[x] is index+1 in heap, 0 = absent
+}
+
+func (h *actHeap[I, K]) less(i, j int) bool {
 	a := *h.act
 	return a[h.heap[i]] > a[h.heap[j]]
 }
 
-func (h *varHeap) swap(i, j int) {
+func (h *actHeap[I, K]) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 	h.pos[h.heap[i]] = int32(i + 1)
 	h.pos[h.heap[j]] = int32(j + 1)
 }
 
-func (h *varHeap) up(i int) {
+func (h *actHeap[I, K]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.less(i, parent) {
@@ -35,7 +42,7 @@ func (h *varHeap) up(i int) {
 	}
 }
 
-func (h *varHeap) down(i int) {
+func (h *actHeap[I, K]) down(i int) {
 	n := len(h.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -54,33 +61,61 @@ func (h *varHeap) down(i int) {
 	}
 }
 
-// grow makes room for variables up to v.
-func (h *varHeap) grow(v cnf.Var) {
-	for len(h.pos) <= int(v) {
+// grow makes room for indices up to x.
+func (h *actHeap[I, K]) grow(x I) {
+	for len(h.pos) <= int(x) {
 		h.pos = append(h.pos, 0)
 	}
 }
 
-// insert adds v if absent.
-func (h *varHeap) insert(v cnf.Var) {
-	h.grow(v)
-	if h.pos[v] != 0 {
+// insert adds x if absent.
+func (h *actHeap[I, K]) insert(x I) {
+	h.grow(x)
+	if h.pos[x] != 0 {
 		return
 	}
-	h.heap = append(h.heap, v)
-	h.pos[v] = int32(len(h.heap))
+	h.heap = append(h.heap, x)
+	h.pos[x] = int32(len(h.heap))
 	h.up(len(h.heap) - 1)
 }
 
-// bumped restores the heap property after v's activity increased.
-func (h *varHeap) bumped(v cnf.Var) {
-	if int(v) < len(h.pos) && h.pos[v] != 0 {
-		h.up(int(h.pos[v]) - 1)
+// bumped restores the heap property after x's activity increased.
+func (h *actHeap[I, K]) bumped(x I) {
+	if int(x) < len(h.pos) && h.pos[x] != 0 {
+		h.up(int(h.pos[x]) - 1)
 	}
 }
 
-// pop removes and returns the most active variable, or 0 if empty.
-func (h *varHeap) pop() cnf.Var {
+// remove deletes x if present (LRB keeps assigned variables out of the
+// heap so its per-conflict locality decay can walk exactly the unassigned
+// ones).
+func (h *actHeap[I, K]) remove(x I) {
+	if int(x) >= len(h.pos) || h.pos[x] == 0 {
+		return
+	}
+	i := int(h.pos[x]) - 1
+	last := len(h.heap) - 1
+	h.pos[x] = 0
+	if i == last {
+		h.heap = h.heap[:last]
+		return
+	}
+	moved := h.heap[last]
+	h.heap[i] = moved
+	h.pos[moved] = int32(i + 1)
+	h.heap = h.heap[:last]
+	h.up(i)
+	h.down(i)
+}
+
+// clear empties the heap, keeping the backing storage.
+func (h *actHeap[I, K]) clear() {
+	h.heap = h.heap[:0]
+	clear(h.pos)
+}
+
+// pop removes and returns the most active element, or 0 if empty.
+func (h *actHeap[I, K]) pop() I {
 	if len(h.heap) == 0 {
 		return 0
 	}
@@ -96,16 +131,16 @@ func (h *varHeap) pop() cnf.Var {
 	return top
 }
 
-// heapPopFree pops until an unassigned variable appears. Assigned variables
-// dropped here are re-inserted when backtracking unassigns them.
-func (s *Solver) heapPopFree() cnf.Var {
-	for {
-		v := s.order.pop()
-		if v == 0 {
-			return 0
-		}
-		if s.assigns[v] == lUndef {
-			return v
-		}
+// cloneHeap deep-copies a heap, rebinding its activity pointer to the
+// clone's array.
+func cloneHeap[I ~int32, K activityKey](h *actHeap[I, K], act *[]K) actHeap[I, K] {
+	return actHeap[I, K]{
+		act:  act,
+		heap: append([]I(nil), h.heap...),
+		pos:  append([]int32(nil), h.pos...),
 	}
 }
+
+// varHeap is the variable-indexed integer-activity heap of the legacy
+// BerkMin decider ("strategy 3", Options.OptimizedGlobalPick).
+type varHeap = actHeap[cnf.Var, int64]

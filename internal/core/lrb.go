@@ -1,0 +1,169 @@
+package core
+
+import "berkmin/internal/cnf"
+
+// lrbDecider implements LRB — learning-rate branching (MapleSAT lineage),
+// the reward-based successor of EVSIDS. Each variable's activity is an
+// exponential moving average of its "learning rate": the fraction of
+// conflicts it participated in (appeared in a learnt clause or a clause
+// responsible for one) during its assignment interval,
+//
+//	reward(v) = participated(v) / (conflicts_now − conflicts_when_assigned),
+//
+// folded in at unassignment with step alpha. Alpha anneals from LrbAlpha
+// down to LrbAlphaMin by LrbAlphaStep per conflict, shifting from fast
+// adaptation to a long memory. The locality extension multiplies the
+// activity of every *unassigned* variable by LrbLocality each conflict, so
+// variables off the current search trajectory fade.
+//
+// This is the one decider that needs the trail walk (hooksAssigns): the
+// interval accounting starts at onAssign. Assigned variables are removed
+// from the pick heap, so the heap holds exactly the unassigned variables —
+// which is also what makes the locality decay a walk over the heap's
+// backing array (uniform scaling of every member keeps the heap valid).
+type lrbDecider struct {
+	s            *Solver
+	act          []float64 // per variable: EMA of the learning rate
+	assignedAt   []uint64  // per variable: conflict count when assigned
+	participated []uint32  // per variable: conflicts participated in since assignment
+	alpha        float64   // current EMA step, annealed per conflict
+	conflicts    uint64    // decider-lifetime conflict counter
+	order        actHeap[cnf.Var, float64]
+}
+
+func newLrbDecider(s *Solver) *lrbDecider {
+	d := &lrbDecider{s: s, alpha: s.opt.LrbAlpha}
+	d.order.act = &d.act
+	return d
+}
+
+func (d *lrbDecider) hooksAssigns() bool { return true }
+
+// decay is a no-op: LRB's decay is the per-conflict alpha anneal and
+// locality fade (onConflict); Options.AgingPeriod does not apply.
+func (d *lrbDecider) decay() {}
+
+func (d *lrbDecider) onAssign(l cnf.Lit) {
+	v := l.Var()
+	d.assignedAt[v] = d.conflicts
+	d.participated[v] = 0
+	d.order.remove(v)
+}
+
+func (d *lrbDecider) onUnassign(v cnf.Var) {
+	if interval := d.conflicts - d.assignedAt[v]; interval > 0 {
+		reward := float64(d.participated[v]) / float64(interval)
+		d.act[v] = (1-d.alpha)*d.act[v] + d.alpha*reward
+	}
+	d.order.insert(v)
+}
+
+// onConflict runs after analysis and before backtracking: the counter
+// advances first, so variables unassigned by the coming backtrack see an
+// interval that includes the conflict they just participated in.
+func (d *lrbDecider) onConflict() {
+	d.conflicts++
+	if d.alpha > d.s.opt.LrbAlphaMin {
+		d.alpha -= d.s.opt.LrbAlphaStep
+		if d.alpha < d.s.opt.LrbAlphaMin {
+			d.alpha = d.s.opt.LrbAlphaMin
+		}
+	}
+	// Locality extension: fade the unassigned variables — exactly the
+	// heap's members. LrbLocality == 1 disables the extension.
+	if f := d.s.opt.LrbLocality; f < 1 {
+		for _, v := range d.order.heap {
+			d.act[v] *= f
+		}
+	}
+}
+
+func (d *lrbDecider) onAntecedent(lits []cnf.Lit) {
+	for _, q := range lits {
+		d.participated[q.Var()]++
+	}
+}
+
+func (d *lrbDecider) onLearnt(lits []cnf.Lit, glue int) {
+	for _, q := range lits {
+		d.participated[q.Var()]++
+	}
+}
+
+// pick pops the most active unassigned variable. The remove-on-assign
+// discipline makes the heap hold exactly the unassigned variables, so the
+// first pop is the answer; the guard is defensive.
+func (d *lrbDecider) pick() cnf.Lit {
+	s := d.s
+	for {
+		v := d.order.pop()
+		if v == 0 {
+			return cnf.LitUndef
+		}
+		if s.assigns[v] != lUndef {
+			continue
+		}
+		s.stats.GlobalDecisions++
+		return s.nbTwoPolarity(v)
+	}
+}
+
+func (d *lrbDecider) rebuild(n int) {
+	old := len(d.act) - 1
+	if old < 0 {
+		old = 0
+	}
+	for len(d.act) <= n {
+		d.act = append(d.act, 0)
+		d.assignedAt = append(d.assignedAt, 0)
+		d.participated = append(d.participated, 0)
+	}
+	for v := cnf.Var(old + 1); int(v) <= n; v++ {
+		if d.s.assigns[v] == lUndef {
+			d.order.insert(v)
+		}
+	}
+}
+
+// rearmHeap rebuilds the pick heap over the unassigned variables only,
+// preserving the remove-on-assign invariant (retained level-0 assignments
+// must stay out).
+func (d *lrbDecider) rearmHeap() {
+	d.order.clear()
+	for v := cnf.Var(1); int(v) <= d.s.nVars; v++ {
+		if d.s.assigns[v] == lUndef {
+			d.order.insert(v)
+		}
+	}
+}
+
+func (d *lrbDecider) reset() {
+	clear(d.act)
+	clear(d.assignedAt)
+	clear(d.participated)
+	d.alpha = d.s.opt.LrbAlpha
+	d.conflicts = 0
+	d.rearmHeap()
+}
+
+// reconfigure re-arms the alpha schedule from the (possibly new) options
+// and rebuilds the heap; activities, intervals and the conflict counter are
+// kept — the interval bookkeeping references the running counter, so it
+// must not rewind while variables are assigned.
+func (d *lrbDecider) reconfigure() {
+	d.alpha = d.s.opt.LrbAlpha
+	d.rearmHeap()
+}
+
+func (d *lrbDecider) clone(ns *Solver) decider {
+	c := &lrbDecider{
+		s:            ns,
+		act:          append([]float64(nil), d.act...),
+		assignedAt:   append([]uint64(nil), d.assignedAt...),
+		participated: append([]uint32(nil), d.participated...),
+		alpha:        d.alpha,
+		conflicts:    d.conflicts,
+	}
+	c.order = cloneHeap(&d.order, &c.act)
+	return c
+}

@@ -19,6 +19,17 @@ const (
 	// the highest (aged) conflict-clause occurrence counter; the literal
 	// choice fixes the polarity.
 	DecideChaffLiteral
+	// DecideEvsids is exponential VSIDS (MiniSat lineage, post-BerkMin):
+	// float activities where the bump increment grows by 1/VarDecay per
+	// conflict, rescaled near overflow; selection is always heap-based.
+	// Polarity uses the saved phase when PhaseSaving is on, else nb_two.
+	DecideEvsids
+	// DecideLrb is learning-rate branching (MapleSAT lineage, post-BerkMin):
+	// each variable's activity is an exponential moving average of the
+	// fraction of conflicts it participated in while assigned, with an
+	// annealed step (LrbAlpha → LrbAlphaMin) and a per-conflict locality
+	// fade of unassigned variables (LrbLocality). Polarity as DecideEvsids.
+	DecideLrb
 )
 
 // PolarityMode selects which branch of the chosen variable is explored first
@@ -108,8 +119,24 @@ type Options struct {
 	OptimizedGlobalPick bool // strategy 3 of BerkMin561 (Remark 1): heap-based global pick
 
 	// Activity aging (Chaff's "aging" of counters, inherited by BerkMin).
+	// DecideEvsids and DecideLrb have their own decay schedules and ignore
+	// these.
 	AgingPeriod  uint64 // conflicts between decays
 	AgingDivisor int64  // counters are divided by this at each decay
+
+	// EVSIDS (DecideEvsids): per-conflict activity decay factor in (0, 1);
+	// the bump increment grows by 1/VarDecay each conflict (default 0.95).
+	VarDecay float64
+
+	// LRB (DecideLrb): the EMA step alpha starts at LrbAlpha (default 0.4),
+	// anneals down by LrbAlphaStep per conflict (default 1e-6) to
+	// LrbAlphaMin (default 0.06). LrbLocality in (0, 1] multiplies every
+	// unassigned variable's activity each conflict (default 0.95; 1
+	// disables the locality extension).
+	LrbAlpha     float64
+	LrbAlphaMin  float64
+	LrbAlphaStep float64
+	LrbLocality  float64
 
 	// Restarts.
 	Restart       RestartPolicy
@@ -321,6 +348,35 @@ func LimmatOptions() Options {
 	return o
 }
 
+// EvsidsOptions is BerkMin's engine branching with exponential VSIDS
+// (DecideEvsids) and phase saving — the MiniSat-style configuration the
+// `satbench -ablation branching` experiment measures against the paper's
+// heuristics.
+func EvsidsOptions() Options {
+	o := DefaultOptions()
+	o.Decision = DecideEvsids
+	o.PhaseSaving = true
+	return o
+}
+
+// LrbOptions is the engine with learning-rate branching (DecideLrb) and
+// phase saving.
+func LrbOptions() Options {
+	o := DefaultOptions()
+	o.Decision = DecideLrb
+	o.PhaseSaving = true
+	return o
+}
+
+// ModernOptions stacks the post-BerkMin extensions into one configuration:
+// the glue-aware three-tier database, Luby restarts with postponement,
+// phase saving (all from TieredOptions) and EVSIDS branching.
+func ModernOptions() Options {
+	o := TieredOptions()
+	o.Decision = DecideEvsids
+	return o
+}
+
 // normalize fills in unset (zero) fields that would otherwise divide by
 // zero or loop forever.
 func (o *Options) normalize() {
@@ -374,6 +430,28 @@ func (o *Options) normalize() {
 	}
 	if o.InprocessPeriod < 0 {
 		o.InprocessPeriod = 0
+	}
+	// EVSIDS: a decay outside (0, 1) would freeze (1) or shrink the bump
+	// increment (>1), and ≤ 0 would flip activity signs or divide by zero.
+	if o.VarDecay <= 0 || o.VarDecay >= 1 {
+		o.VarDecay = 0.95
+	}
+	// LRB alpha schedule: keep 0 < LrbAlphaMin ≤ LrbAlpha ≤ 1 with a
+	// positive step, so the EMA neither freezes nor runs backwards.
+	if o.LrbAlpha <= 0 || o.LrbAlpha > 1 {
+		o.LrbAlpha = 0.4
+	}
+	if o.LrbAlphaMin <= 0 {
+		o.LrbAlphaMin = 0.06
+	}
+	if o.LrbAlphaMin > o.LrbAlpha {
+		o.LrbAlphaMin = o.LrbAlpha
+	}
+	if o.LrbAlphaStep <= 0 {
+		o.LrbAlphaStep = 1e-6
+	}
+	if o.LrbLocality <= 0 || o.LrbLocality > 1 {
+		o.LrbLocality = 0.95
 	}
 	if o.InprocessMaxOcc <= 0 {
 		o.InprocessMaxOcc = 40

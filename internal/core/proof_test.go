@@ -1,10 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"io"
 	"testing"
 
 	"berkmin/internal/cnf"
+	"berkmin/internal/drup"
 )
 
 type devNull struct{}
@@ -25,5 +27,58 @@ func TestProofLoggingSteadyStateAllocs(t *testing.T) {
 	})
 	if n != 0 {
 		t.Fatalf("proof logging allocates %v allocs/op in steady state, want 0", n)
+	}
+}
+
+// A literal propagated at level 0 has no addition line of its own — the
+// checker re-derives it from its antecedent clauses. Database management
+// may then delete those antecedents, which would strand every later proof
+// step that (implicitly) relies on the unit: learnt clauses omit level-0
+// literals, so their RUP checks need the units derivable. clearLevel0Reasons
+// is the choke point every deletion pass goes through, and it must make
+// such units explicit before dropping the reason refs. Regression test for
+// an EVSIDS-on-hole8 proof rejected exactly this way ("clause is not RUP"
+// with deletions applied, verified clean with deletions stripped).
+func TestClearLevel0ReasonsLogsDerivedUnits(t *testing.T) {
+	s := New(DefaultOptions())
+	var proof bytes.Buffer
+	s.SetProofWriter(&proof)
+	// Stored clauses first, then the units that make them propagate:
+	// (¬1 ¬2 3) forces 3 with a clause-ref reason, the binary (¬3 4)
+	// forces 4 with a literal-encoded (refBin) reason.
+	s.AddClause(cnf.NewClause(-1, -2, 3))
+	s.AddClause(cnf.NewClause(-3, 4))
+	s.AddClause(cnf.NewClause(1))
+	s.AddClause(cnf.NewClause(2))
+	if confl := s.propagate(); confl != refUndef {
+		t.Fatal("unexpected level-0 conflict")
+	}
+	if got := len(s.trail); got != 4 {
+		t.Fatalf("trail = %d assignments, want 4", got)
+	}
+	if proof.Len() != 0 {
+		t.Fatalf("unexpected proof lines before the reason sweep: %q", proof.String())
+	}
+
+	s.clearLevel0Reasons()
+	steps, err := drup.ParseProof(bytes.NewReader(proof.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cnf.Lit{cnf.PosLit(3), cnf.PosLit(4)}
+	if len(steps) != len(want) {
+		t.Fatalf("logged %d proof steps, want %d unit additions: %q", len(steps), len(want), proof.String())
+	}
+	for i, st := range steps {
+		if st.Delete || len(st.Lits) != 1 || st.Lits[0] != want[i] {
+			t.Fatalf("step %d = delete=%v lits=%v, want unit addition %v (trail/derivation order)", i, st.Delete, st.Lits, want[i])
+		}
+	}
+
+	// Idempotent: the reasons are gone, a second sweep logs nothing.
+	proof.Reset()
+	s.clearLevel0Reasons()
+	if proof.Len() != 0 {
+		t.Fatalf("second sweep re-logged units: %q", proof.String())
 	}
 }

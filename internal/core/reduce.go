@@ -84,9 +84,24 @@ func (s *Solver) simplifyLevel0() {
 // never consulted again (conflict analysis skips level-0 literals), but the
 // refs would keep tombstoned clauses alive across a GC — so every pass that
 // frees or relocates clauses clears them first. Must run at decision level 0.
+//
+// A literal that still carries a reason here was derived by propagation and
+// has no addition line of its own in an attached DRUP trace — the checker
+// re-derives it from the antecedent clauses. Every caller is about to make
+// those antecedents deletable, so the unit is logged first, while it is
+// still RUP against the intact database. Trail order is derivation order,
+// which keeps each unit RUP given the ones logged before it.
 func (s *Solver) clearLevel0Reasons() {
 	for _, l := range s.trail {
-		s.reason[l.Var()] = refUndef
+		v := l.Var()
+		if s.reason[v] == refUndef {
+			continue
+		}
+		if s.proof != nil {
+			unit := [1]cnf.Lit{l}
+			s.proofAdd(unit[:])
+		}
+		s.reason[v] = refUndef
 	}
 }
 

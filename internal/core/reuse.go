@@ -83,13 +83,14 @@ func (s *Solver) Reset() {
 
 	// Search-plane per-variable and per-literal state (lUndef is the zero
 	// lbool, so clear resets phases too).
-	clear(s.varAct)
-	clear(s.litAct)
-	clear(s.chaffAct)
 	clear(s.phase)
 	clear(s.glueSeen)
 	s.glueStamp = 0
 	s.lastGlue = 0
+
+	// Restart the heuristic lifetime: activities cleared, reward schedules
+	// re-armed, pick structures rebuilt.
+	s.dec.reset()
 
 	s.resetPolicyState()
 }
@@ -125,17 +126,6 @@ func (s *Solver) resetPolicyState() {
 	s.recentGluePos = 0
 	s.recentGlueSum = 0
 	s.recentGlueN = 0
-
-	if s.opt.OptimizedGlobalPick {
-		s.order.heap = s.order.heap[:0]
-		clear(s.order.pos)
-		for v := 1; v <= s.nVars; v++ {
-			s.order.insert(cnf.Var(v))
-		}
-	} else {
-		s.order.heap = nil
-		s.order.pos = nil
-	}
 }
 
 // Clone returns an independent copy of the solver sharing no mutable
@@ -176,10 +166,7 @@ func (s *Solver) Clone() *Solver {
 		trailLim:  append([]int(nil), s.trailLim...),
 		qhead:     s.qhead,
 
-		varAct:   append([]int64(nil), s.varAct...),
-		litAct:   append([]int64(nil), s.litAct...),
-		chaffAct: append([]int64(nil), s.chaffAct...),
-		phase:    append([]lbool(nil), s.phase...),
+		phase: append([]lbool(nil), s.phase...),
 
 		seen:      append([]bool(nil), s.seen...),
 		glueSeen:  append([]uint32(nil), s.glueSeen...),
@@ -213,13 +200,10 @@ func (s *Solver) Clone() *Solver {
 	}
 	// Stats is a value copy except for the skin histogram's backing array.
 	c.stats.Skin.Counts = append([]uint64(nil), s.stats.Skin.Counts...)
-	// The heap keys itself through a pointer to the activity array; it must
-	// point at the clone's copy, not the original's.
-	c.order = varHeap{
-		act:  &c.varAct,
-		heap: append([]cnf.Var(nil), s.order.heap...),
-		pos:  append([]int32(nil), s.order.pos...),
-	}
+	// The branching plane carries its own state (activities, heaps, reward
+	// accounting); its clone rebinds every internal pointer to the copy.
+	c.dec = s.dec.clone(c)
+	c.decAssign = s.decAssign
 	return c
 }
 
@@ -266,6 +250,7 @@ func (s *Solver) ClonePruned(maxGlue int) *Solver {
 //	go w.Solve()
 func (s *Solver) Reconfigure(opt Options) {
 	opt.normalize()
+	oldDecision := s.opt.Decision
 	s.opt = opt
 	for _, c := range s.learnts {
 		t := s.tierFor(s.ca.glue(c), s.ca.size(c))
@@ -273,6 +258,17 @@ func (s *Solver) Reconfigure(opt Options) {
 	}
 	s.recountTiers()
 	s.resetPolicyState()
+	if sameDeciderFamily(oldDecision, opt.Decision) {
+		// Same decider implementation: keep its heuristic state, re-arm its
+		// policy (pick structures, reward schedules) for the new options.
+		s.dec.reconfigure()
+	} else {
+		// Crossing decider families starts a fresh heuristic lifetime —
+		// activities do not translate between, say, integer BerkMin counters
+		// and LRB's reward averages.
+		s.installDecider()
+		s.dec.rebuild(s.nVars)
+	}
 }
 
 // cloneLists deep-copies a per-literal list-of-lists (watches, binary

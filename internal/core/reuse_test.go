@@ -99,18 +99,25 @@ func TestCloneSharesNoMutableState(t *testing.T) {
 	}
 	if sliceShares(c.assigns, s.assigns) || sliceShares(c.vlevel, s.vlevel) ||
 		sliceShares(c.reason, s.reason) || sliceShares(c.binReason, s.binReason) ||
-		sliceShares(c.trail, s.trail) || sliceShares(c.varAct, s.varAct) ||
-		sliceShares(c.litAct, s.litAct) || sliceShares(c.chaffAct, s.chaffAct) ||
+		sliceShares(c.trail, s.trail) ||
 		sliceShares(c.phase, s.phase) || sliceShares(c.seen, s.seen) ||
 		sliceShares(c.glueSeen, s.glueSeen) || sliceShares(c.recentGlue, s.recentGlue) ||
 		sliceShares(c.stats.Skin.Counts, s.stats.Skin.Counts) {
 		t.Fatal("clone shares a per-variable/per-literal array")
 	}
-	if sliceShares(c.order.heap, s.order.heap) || sliceShares(c.order.pos, s.order.pos) {
+	cd, sd := bm(c), bm(s)
+	if sliceShares(cd.varAct, sd.varAct) ||
+		sliceShares(cd.litAct, sd.litAct) || sliceShares(cd.chaffAct, sd.chaffAct) {
+		t.Fatal("clone shares a decider activity array")
+	}
+	if sliceShares(cd.order.heap, sd.order.heap) || sliceShares(cd.order.pos, sd.order.pos) {
 		t.Fatal("clone shares the decision heap")
 	}
-	if c.order.act != &c.varAct {
+	if cd.order.act != &cd.varAct {
 		t.Fatal("clone's heap is keyed by someone else's activities")
+	}
+	if c.dec == s.dec {
+		t.Fatal("clone shares the decider object")
 	}
 	if sliceShares(c.watches, s.watches) || sliceShares(c.binWatches, s.binWatches) ||
 		sliceShares(c.binOcc, s.binOcc) {

@@ -113,10 +113,16 @@ type Solver struct {
 	trailLim  []int
 	qhead     int
 
-	varAct   []int64 // per variable: BerkMin var_activity (§4)
-	litAct   []int64 // per literal: lit_activity, conflict clauses ever containing l (§7); never aged
-	chaffAct []int64 // per literal: Chaff VSIDS counter (aged)
-	phase    []lbool // per variable: last assigned polarity (Options.PhaseSaving)
+	phase []lbool // per variable: last assigned polarity (Options.PhaseSaving)
+
+	// dec is the branching plane (decider.go): variable selection, polarity,
+	// activities and their decay all live behind it. decAssign caches
+	// dec.hooksAssigns() so the BCP hot path pays the interface dispatch
+	// only for deciders that track assignments (LRB). anteBin is the
+	// scratch slice for reporting literal-encoded binary antecedents.
+	dec       decider
+	decAssign bool
+	anteBin   [2]cnf.Lit
 
 	seen       []bool    // conflict-analysis scratch, per variable
 	analyzeBuf []cnf.Lit // conflict-analysis scratch
@@ -149,8 +155,6 @@ type Solver struct {
 	inpLits  []cnf.Lit
 	inpKeep  []cnf.Lit
 	inpSnap  []cnf.Lit
-
-	order varHeap // strategy-3 activity heap (Options.OptimizedGlobalPick)
 
 	rng xorshift
 
@@ -199,7 +203,7 @@ func New(opt Options) *Solver {
 		rng:          newXorshift(opt.Seed),
 		oldThreshold: opt.OldThresholdInit,
 	}
-	s.order.act = &s.varAct
+	s.installDecider()
 	s.geomLimit = float64(opt.RestartFirst)
 	s.restartLimit = s.nextRestartLimit()
 	s.tieredTarget = opt.TieredFirstReduce
@@ -224,14 +228,12 @@ func (s *Solver) ensureVars(n int) {
 	if n <= s.nVars {
 		return
 	}
-	old := s.nVars
 	s.nVars = n
 	for len(s.assigns) <= n {
 		s.assigns = append(s.assigns, lUndef)
 		s.vlevel = append(s.vlevel, 0)
 		s.reason = append(s.reason, refUndef)
 		s.binReason = append(s.binReason, cnf.LitUndef)
-		s.varAct = append(s.varAct, 0)
 		s.seen = append(s.seen, false)
 		s.phase = append(s.phase, lUndef)
 		// glueSeen is indexed by decision level, which never exceeds the
@@ -239,18 +241,12 @@ func (s *Solver) ensureVars(n int) {
 		// allocation-free.
 		s.glueSeen = append(s.glueSeen, 0)
 	}
-	if s.opt.OptimizedGlobalPick {
-		for v := old + 1; v <= n; v++ {
-			s.order.insert(cnf.Var(v))
-		}
-	}
 	for len(s.watches) <= 2*n+1 {
 		s.watches = append(s.watches, nil)
 		s.binWatches = append(s.binWatches, nil)
-		s.litAct = append(s.litAct, 0)
-		s.chaffAct = append(s.chaffAct, 0)
 		s.binOcc = append(s.binOcc, nil)
 	}
+	s.dec.rebuild(n)
 }
 
 // value returns the literal's current three-valued truth value.
@@ -371,6 +367,9 @@ func (s *Solver) enqueue(l cnf.Lit, from clauseRef) bool {
 	s.vlevel[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
+	if s.decAssign {
+		s.dec.onAssign(l)
+	}
 	return true
 }
 
@@ -390,6 +389,9 @@ func (s *Solver) enqueueBin(l, from cnf.Lit) {
 	s.reason[v] = refBin
 	s.binReason[v] = from
 	s.trail = append(s.trail, l)
+	if s.decAssign {
+		s.dec.onAssign(l)
+	}
 }
 
 // newDecisionLevel opens a new decision level.
@@ -415,9 +417,7 @@ func (s *Solver) cancelUntil(level int) {
 		}
 		s.assigns[v] = lUndef
 		s.reason[v] = refUndef
-		if s.opt.OptimizedGlobalPick {
-			s.order.insert(v)
-		}
+		s.dec.onUnassign(v)
 	}
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:level]
@@ -500,6 +500,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 				return s.finish(StatusUnsat, nil)
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.dec.onConflict()
 			// Backtracking below the assumption levels is fine: the decide
 			// loop re-asserts assumptions, and a now-falsified assumption
 			// is detected there (analyzeFinal).
@@ -507,7 +508,7 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 			s.record(learnt)
 			if s.sinceAging >= s.opt.AgingPeriod {
 				s.sinceAging = 0
-				s.age()
+				s.dec.decay()
 			}
 			if r := s.stopRequested(); r != StopNone {
 				return s.abort(r)

@@ -150,9 +150,15 @@ type Stats struct {
 
 	// TopClauseDecisions counts decisions made on the current top clause;
 	// GlobalDecisions counts decisions made on the whole formula (all
-	// conflict clauses satisfied). Their split quantifies the skin effect.
+	// conflict clauses satisfied, or a decider without the top-clause rule).
+	// Their split quantifies the skin effect.
 	TopClauseDecisions uint64
 	GlobalDecisions    uint64
+
+	// ActivityRescales counts EVSIDS overflow rescales: every float
+	// activity (and the bump increment) multiplied by 1e-100 because a
+	// value crossed 1e100 (DecideEvsids only).
+	ActivityRescales uint64
 
 	// LearntTotal counts every conflict clause ever deduced, including unit
 	// ones; Table 9's database-size ratio is

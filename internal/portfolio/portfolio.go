@@ -91,8 +91,10 @@ func (r *Result) SharedClauses() uint64 {
 }
 
 // Variants returns n named, deliberately different solver configurations:
-// the paper's presets (BerkMin, zChaff-like, limmat-like), restart-policy
-// and polarity variants, and — beyond the first eight — seed-shifted copies
+// the paper's presets (BerkMin, zChaff-like, limmat-like), the modern
+// branching families (EVSIDS via ModernOptions, LRB) placed early so even
+// small portfolios carry one member of each decider family, restart-policy
+// and polarity variants, and — beyond the base cycle — seed-shifted copies
 // of the same cycle, so any n is valid.
 func Variants(n int, baseSeed uint64) []Config {
 	if baseSeed == 0 {
@@ -100,6 +102,8 @@ func Variants(n int, baseSeed uint64) []Config {
 	}
 	base := []Config{
 		{"berkmin", core.DefaultOptions()},
+		{"modern", core.ModernOptions()},
+		{"lrb", core.LrbOptions()},
 		{"tiered", core.TieredOptions()},
 		{"chaff", core.ChaffOptions()},
 		{"limmat", core.LimmatOptions()},

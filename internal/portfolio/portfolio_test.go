@@ -216,3 +216,29 @@ func TestInterruptLatency(t *testing.T) {
 		t.Fatalf("portfolio took %v on a one-clause formula", d)
 	}
 }
+
+// TestVariantsCoverDeciderFamilies: the first three variants already span
+// all three branching families (BerkMin-style, EVSIDS, LRB), so any
+// portfolio of three or more members carries one of each.
+func TestVariantsCoverDeciderFamilies(t *testing.T) {
+	cfgs := Variants(3, 1)
+	families := map[core.DecisionMode]bool{}
+	for _, c := range cfgs {
+		families[c.Opt.Decision] = true
+	}
+	if !families[core.DecideEvsids] {
+		t.Fatal("no EVSIDS member in a 3-way portfolio")
+	}
+	if !families[core.DecideLrb] {
+		t.Fatal("no LRB member in a 3-way portfolio")
+	}
+	legacy := false
+	for m := range families {
+		if m != core.DecideEvsids && m != core.DecideLrb {
+			legacy = true
+		}
+	}
+	if !legacy {
+		t.Fatal("no BerkMin-family member in a 3-way portfolio")
+	}
+}
