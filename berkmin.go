@@ -40,6 +40,7 @@ import (
 
 	"berkmin/internal/cnf"
 	"berkmin/internal/core"
+	"berkmin/internal/cube"
 	"berkmin/internal/portfolio"
 	"berkmin/internal/simplify"
 )
@@ -441,6 +442,115 @@ func solveParallel(ctx context.Context, f *Formula, opt ParallelOptions) Paralle
 	}
 	r := portfolio.SolveContext(ctx, f, popt)
 	return ParallelResult{Result: r.Result, Winner: r.Winner}
+}
+
+// CubeOptions configures cube-and-conquer solving (SolveCubes).
+type CubeOptions struct {
+	// Jobs is the number of conquer workers (<= 0: GOMAXPROCS).
+	Jobs int
+	// MaxCubes bounds how many cubes the lookahead cuber produces
+	// (0: a few hundred); MaxDepth bounds the split depth (0: default).
+	MaxCubes int
+	MaxDepth int
+	// ShareMaxGlue caps the glue of clauses exchanged between workers
+	// (0: default 4, negative: disable the glue route).
+	ShareMaxGlue int
+	// Config configures the (homogeneous) conquer workers; the zero
+	// value means DefaultOptions. Workers differ only in seed — the
+	// cuber has already diversified the work itself.
+	Config Options
+	// MaxTime bounds the whole call end to end (0 = unlimited).
+	MaxTime time.Duration
+	// Seed diversifies the worker PRNGs (0 means 1).
+	Seed uint64
+	// Simplify preprocesses the formula once before cubing; the
+	// satisfying model is mapped back to the original variables.
+	Simplify bool
+	// Proof, when non-nil, receives a DRUP refutation on UNSAT: the
+	// preprocessor's trace (when Simplify is set) followed by the
+	// stitched per-cube proofs, verifiable against the input formula.
+	Proof io.Writer
+}
+
+// CubeResult is the cube-and-conquer outcome: the verdict plus the
+// split/conquer accounting. Only the aggregate Stats fields meaningful
+// across many workers are filled (Conflicts, ExportedClauses, Runtime).
+type CubeResult struct {
+	Result
+	// Cubes is how many cubes the conquer phase received; Refuted how
+	// many the cuber closed by propagation alone; Solved how many were
+	// conquered before the run ended; Steals counts work-stealing events.
+	Cubes   int
+	Refuted int
+	Solved  int
+	Steals  int
+}
+
+// SolveCubes solves the formula by cube-and-conquer: a lookahead cuber
+// partitions the search space into many cubes, and a work-stealing pool
+// of solvers conquers them in parallel — the route to wall-clock speedup
+// on a single hard instance, where SolveParallel's portfolio saturates.
+// Any satisfiable cube wins and cancels the rest; when every cube is
+// refuted the verdict is UNSAT, with an optionally stitched DRUP proof.
+func SolveCubes(f *Formula, opt CubeOptions) CubeResult {
+	return solveCubes(context.Background(), f, opt)
+}
+
+func solveCubes(ctx context.Context, f *Formula, opt CubeOptions) CubeResult {
+	copt := cube.Options{
+		Jobs:         opt.Jobs,
+		MaxCubes:     opt.MaxCubes,
+		MaxDepth:     opt.MaxDepth,
+		ShareMaxGlue: opt.ShareMaxGlue,
+		Conquer:      opt.Config,
+		MaxTime:      opt.MaxTime,
+		BaseSeed:     opt.Seed,
+		Proof:        opt.Proof,
+	}
+	orig := f
+	var outcome *simplify.Outcome
+	var preSpent time.Duration
+	if opt.Simplify {
+		so := DefaultSimplifyOptions()
+		so.Proof = opt.Proof
+		var interrupted func() bool
+		if ctx.Done() != nil {
+			interrupted = func() bool { return ctx.Err() != nil }
+		}
+		// The preprocessor's trace leads the proof and its time is
+		// deducted from the cube phase, so MaxTime stays end-to-end. A
+		// refuted-outright formula flows through unchanged: the cube
+		// driver answers UNSAT from the empty clause and completes the
+		// proof.
+		outcome, preSpent, copt.MaxTime = simplify.Run(f, so, opt.MaxTime, interrupted)
+		f = outcome.Formula
+	}
+	r := cube.SolveContext(ctx, f, copt)
+	res := CubeResult{
+		Result: Result{
+			Status: r.Status,
+			Stop:   r.Stop,
+			Model:  r.Model,
+			Stats: Stats{
+				Conflicts:       r.Conflicts,
+				ExportedClauses: r.Shared,
+				Runtime:         r.Runtime + preSpent,
+			},
+		},
+		Cubes:   r.Cubes,
+		Refuted: r.Refuted,
+		Solved:  r.Solved,
+		Steals:  r.Steals,
+	}
+	if res.Status == StatusSat {
+		if outcome != nil {
+			res.Model = outcome.Extend(res.Model)
+		}
+		if !cnf.Assignment(res.Model).Satisfies(orig) {
+			panic("berkmin: internal error: cube model does not satisfy the input formula")
+		}
+	}
+	return res
 }
 
 // FailedAssumptions extracts a result's failed-assumption set in signed

@@ -74,6 +74,11 @@ func run() int {
 		timeout      = flag.Duration("timeout", 0, "abort after this wall-clock time (0 = unlimited)")
 		seed         = flag.Uint64("seed", 1, "PRNG seed (deterministic reruns)")
 		jobs         = flag.Int("jobs", 1, "run a portfolio of N diversified solvers in parallel (first answer wins; learnt clauses are shared)")
+		cubeMode     = flag.Bool("cube", false, "solve by cube-and-conquer: a lookahead cuber splits the instance into many cubes, work-stealing workers conquer them in parallel")
+		cubeJobs     = flag.Int("cube-jobs", 0, "conquer workers for -cube (0 = GOMAXPROCS)")
+		cubeMax      = flag.Int("cube-max", 0, "bound on the number of cubes for -cube (0 = default)")
+		cubeDepth    = flag.Int("cube-depth", 0, "bound on the split depth for -cube (0 = default)")
+		cubeGlue     = flag.Int("cube-share-glue", 0, "glue cap for clauses shared between conquer workers (0 = default, negative disables)")
 		noModel      = flag.Bool("no-model", false, "suppress the v-lines on SAT")
 		showStats    = flag.Bool("stats", false, "print search statistics to stderr")
 		proofPath    = flag.String("proof", "", "write a DRUP proof to this file")
@@ -120,6 +125,48 @@ func run() int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parse error: %v\n", err)
 		return 1
+	}
+
+	// Cube-and-conquer mode: -cube splits the instance and conquers the
+	// cubes with homogeneous workers, so unlike the portfolio it composes
+	// with the flags that pick one configuration — and with -proof, since
+	// an all-UNSAT run stitches one checkable DRUP trace.
+	if *cubeMode {
+		if *jobs > 1 {
+			fmt.Fprintln(os.Stderr, "-cube and -jobs are mutually exclusive (use -cube-jobs to size the conquer pool)")
+			return 1
+		}
+		copt := berkmin.CubeOptions{
+			Jobs:         *cubeJobs,
+			MaxCubes:     *cubeMax,
+			MaxDepth:     *cubeDepth,
+			ShareMaxGlue: *cubeGlue,
+			Config:       opt,
+			MaxTime:      *timeout,
+			Seed:         *seed,
+			Simplify:     *preprocess,
+		}
+		if *proofPath != "" {
+			pf, err := os.Create(*proofPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "proof file: %v\n", err)
+				return 1
+			}
+			defer pf.Close()
+			bw := bufio.NewWriter(pf)
+			defer bw.Flush()
+			copt.Proof = bw
+		}
+		start := time.Now()
+		res := berkmin.SolveCubes(f, copt)
+		if *showStats {
+			fmt.Fprintf(os.Stderr, "c cube jobs=%d cubes=%d refuted=%d solved=%d steals=%d\n",
+				*cubeJobs, res.Cubes, res.Refuted, res.Solved, res.Steals)
+			fmt.Fprintf(os.Stderr, "c conflicts=%d shared=%d stop=%v\n",
+				res.Stats.Conflicts, res.Stats.ExportedClauses, res.Stop)
+			fmt.Fprintf(os.Stderr, "c time=%v\n", time.Since(start))
+		}
+		return report(res.Result, noModel)
 	}
 
 	// Portfolio mode: -jobs N runs N diversified configurations in

@@ -32,6 +32,7 @@ func run() int {
 		table        = flag.String("table", "all", "table number 1-10, or 'all'")
 		ablation     = flag.String("ablation", "", "run an ablation instead: youngfrac, restart, aging, nbtwo, globalpick, minimize, phase, simplify, tiereddb, branching, or 'all'")
 		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
+		cubeJobs     = flag.Int("cube", 0, "bench cube-and-conquer scaling (1,2,4,..,N workers vs sequential BerkMin) on the hard set, instead of a table")
 		queryStream  = flag.Int("querystream", 0, "bench a K-query assumption stream: snapshot+pool reuse vs rebuild-per-query, instead of a table")
 		serverStream = flag.Int("server", 0, "bench a K-query assumption stream through a live satserved daemon vs the in-process pool, instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
@@ -96,6 +97,19 @@ func run() int {
 		if r.Mismatches > 0 {
 			return 1
 		}
+		return 0
+	}
+
+	if *cubeJobs != 0 {
+		if *cubeJobs < 1 {
+			fmt.Fprintf(os.Stderr, "-cube needs a positive worker count (got %d)\n", *cubeJobs)
+			return 1
+		}
+		workers := []int{1}
+		for w := 2; w <= *cubeJobs; w *= 2 {
+			workers = append(workers, w)
+		}
+		fmt.Println(bench.CubeConquer(sc, lim, workers).String())
 		return 0
 	}
 

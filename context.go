@@ -130,6 +130,18 @@ func SolveParallelContext(ctx context.Context, f *Formula, opt ParallelOptions) 
 	return r, stopError(r.Stop, ctx)
 }
 
+// SolveCubesContext is SolveCubes with context cancellation: when ctx
+// fires, the cuber stops at its next node, every conquer worker is
+// interrupted, and the call returns promptly with the matching sentinel
+// error. The error contract is the same as SolveContext's.
+func SolveCubesContext(ctx context.Context, f *Formula, opt CubeOptions) (CubeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CubeResult{Result: Result{Status: StatusUnknown, Stop: StopInterrupted}}, ctxSentinel(err)
+	}
+	r := solveCubes(ctx, f, opt)
+	return r, stopError(r.Stop, ctx)
+}
+
 // SolveParallelContext races the snapshot's portfolio under a context; see
 // SolveParallelContext (package level) for the error contract.
 func (sn *Snapshot) SolveParallelContext(ctx context.Context, opt ParallelOptions) (ParallelResult, error) {

@@ -1,0 +1,65 @@
+package berkmin_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"berkmin"
+)
+
+// TestSolveCubes: the public cube-and-conquer entry point agrees with the
+// known statuses and returns verified models.
+func TestSolveCubes(t *testing.T) {
+	sat := berkmin.Hanoi(3)
+	r := berkmin.SolveCubes(sat.Formula, berkmin.CubeOptions{Jobs: 2, MaxCubes: 16})
+	if r.Status != berkmin.StatusSat {
+		t.Fatalf("hanoi: %v", r.Status)
+	}
+	if len(r.Model) == 0 {
+		t.Fatal("SAT without a model")
+	}
+
+	unsat := berkmin.Pigeonhole(7)
+	r = berkmin.SolveCubes(unsat.Formula, berkmin.CubeOptions{Jobs: 2, MaxCubes: 16})
+	if r.Status != berkmin.StatusUnsat {
+		t.Fatalf("pigeonhole: %v", r.Status)
+	}
+	if r.Cubes+r.Refuted == 0 {
+		t.Fatal("no split happened")
+	}
+}
+
+// TestSolveCubesProofComposesWithSimplify: preprocessing leads the trace
+// and the stitched per-cube refutations follow, so the whole proof checks
+// against the ORIGINAL formula — the same composition contract as the
+// sequential front-end.
+func TestSolveCubesProofComposesWithSimplify(t *testing.T) {
+	inst := berkmin.Pigeonhole(7)
+	var proof bytes.Buffer
+	r := berkmin.SolveCubes(inst.Formula, berkmin.CubeOptions{
+		Jobs: 2, MaxCubes: 16, Simplify: true, Proof: &proof,
+	})
+	if r.Status != berkmin.StatusUnsat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	res, err := berkmin.CheckDRUP(inst.Formula, &proof)
+	if err != nil {
+		t.Fatalf("proof check: %v", err)
+	}
+	if !res.EmptyDerived {
+		t.Fatal("composed proof does not derive the empty clause")
+	}
+}
+
+// TestSolveCubesContext: a pre-fired context returns the sentinel without
+// starting work.
+func TestSolveCubesContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := berkmin.SolveCubesContext(ctx, berkmin.Pigeonhole(8).Formula, berkmin.CubeOptions{})
+	if !errors.Is(err, berkmin.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

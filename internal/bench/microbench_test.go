@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"berkmin/internal/core"
+	"berkmin/internal/cube"
+	"berkmin/internal/gen"
 )
 
 // BenchmarkSolveSmoke is the CI perf-smoke benchmark: the default BerkMin
@@ -13,6 +15,23 @@ import (
 // end-to-end solve cost — parsing-free, generator-fed — so a regression in
 // propagation, analysis or database management shows up here even when the
 // microbenchmarks stay flat.
+// BenchmarkCubeConquer tracks the full cube-and-conquer pipeline — the
+// lookahead cuber, the work-stealing conquest with clause sharing, and
+// the verdict assembly — on a fixed UNSAT instance, so regressions in
+// splitting cost or scheduler overhead are caught even when the core
+// solve benchmarks stay flat.
+func BenchmarkCubeConquer(b *testing.B) {
+	inst := gen.Pigeonhole(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cube.Solve(inst.Formula, cube.Options{Jobs: 2, MaxCubes: 32})
+		if r.Status != core.StatusUnsat {
+			b.Fatalf("status = %v", r.Status)
+		}
+	}
+}
+
 func BenchmarkSolveSmoke(b *testing.B) {
 	classes := Classes(Small)
 	want := map[string]bool{"Hole": true, "Beijing": true, "Sss1.0": true}

@@ -1,0 +1,21 @@
+// Package conc holds the one shared concurrency-sizing rule of the
+// repository. Every parallel subsystem — the portfolio, the
+// cube-and-conquer scheduler, the serving daemon's worker pool — used to
+// derive its own worker count from GOMAXPROCS at its own call site; this
+// package is the single place that decision lives, so the subsystems
+// cannot drift apart (and a future override — cgroup quotas, a flag — has
+// exactly one home).
+package conc
+
+import "runtime"
+
+// Jobs resolves a requested worker count: a positive request is taken
+// as-is, anything else (zero, negative) means "one worker per available
+// CPU" — runtime.GOMAXPROCS(0), which respects both the machine size and
+// any GOMAXPROCS override the operator set.
+func Jobs(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -10,11 +10,11 @@ package portfolio
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"berkmin/internal/cnf"
+	"berkmin/internal/conc"
 	"berkmin/internal/core"
 	"berkmin/internal/simplify"
 )
@@ -160,37 +160,57 @@ func geometricOptions() core.Options {
 	return o
 }
 
-// hub fans exported clauses out to every other member, deduplicating so a
+// Hub fans exported clauses out to every other member, deduplicating so a
 // clause learnt by several solvers is not re-broadcast endlessly. The
-// dedup memory is bounded: past maxSeen entries the map is reset, trading
+// dedup memory is bounded: past maxSeen entries the set is reset, trading
 // an occasional re-broadcast (harmless — members drop duplicates they
 // already hold as satisfied or re-learn cheaply) for capped growth on
-// hours-long solves.
-type hub struct {
+// hours-long solves. The hub is shared infrastructure: the portfolio wires
+// it between racing members, and the cube-and-conquer scheduler (package
+// cube) between conquer workers.
+type Hub struct {
 	mu      sync.Mutex
-	seen    map[string]struct{}
+	seen    map[uint64]struct{}
 	solvers []*core.Solver
 }
 
-// maxSeen caps the dedup map; at ~40 bytes/entry this bounds the hub near
-// tens of MB even on marathon runs.
+// maxSeen caps the dedup set; at ~16 bytes/entry this bounds the hub near
+// ten MB even on marathon runs.
 const maxSeen = 1 << 19
 
-func newHub(solvers []*core.Solver) *hub {
-	return &hub{seen: make(map[string]struct{}), solvers: solvers}
+// NewHub returns a clause-sharing hub over the given members. Publish
+// forwards a clause to every member except its exporter.
+func NewHub(solvers []*core.Solver) *Hub {
+	return &Hub{seen: make(map[uint64]struct{}, 1024), solvers: solvers}
 }
 
-// key canonicalizes a clause (sorted literal order) so duplicates collide.
-func key(lits []cnf.Lit) string {
-	c, _ := cnf.Clause(append([]cnf.Lit(nil), lits...)).Normalize()
-	b := make([]byte, 0, 4*len(c))
-	for _, l := range c {
-		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+// key folds a clause into a 64-bit fingerprint for the dedup set. The
+// per-literal hashes (splitmix64 finalizer) are combined by addition, so
+// the fingerprint is independent of literal order — the same clause learnt
+// by two members in different orders still collides — without sorting or
+// allocating; this runs under the hub mutex on every export, so it must be
+// allocation-free (BenchmarkHubPublish pins 0 allocs/op). A hash collision
+// between genuinely different clauses only suppresses a broadcast, never
+// corrupts one, so the set needs no stored keys for equality checks.
+func key(lits []cnf.Lit) uint64 {
+	var h uint64
+	for _, l := range lits {
+		x := uint64(uint32(l)) + 0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		h += x
 	}
-	return string(b)
+	return h
 }
 
-func (h *hub) publish(from int, lits []cnf.Lit, glue int) {
+// Publish offers a clause learnt by member from to every other member,
+// unless an identical clause already crossed the hub. Pass from = -1 for a
+// clause originating outside the members (e.g. a refuted cube's negation
+// in package cube) so everyone receives it.
+func (h *Hub) Publish(from int, lits []cnf.Lit, glue int) {
 	k := key(lits)
 	h.mu.Lock()
 	if _, dup := h.seen[k]; dup {
@@ -198,7 +218,7 @@ func (h *hub) publish(from int, lits []cnf.Lit, glue int) {
 		return
 	}
 	if len(h.seen) >= maxSeen {
-		h.seen = make(map[string]struct{})
+		h.seen = make(map[uint64]struct{}, 1024)
 	}
 	h.seen[k] = struct{}{}
 	h.mu.Unlock()
@@ -217,11 +237,7 @@ func (opt *Options) configs() []Config {
 	if len(opt.Configs) > 0 {
 		return opt.Configs
 	}
-	jobs := opt.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	return Variants(jobs, opt.BaseSeed)
+	return Variants(conc.Jobs(opt.Jobs), opt.BaseSeed)
 }
 
 // memberOptions applies the portfolio-wide budget overrides to one member
@@ -270,11 +286,11 @@ func race(ctx context.Context, solvers []*core.Solver, cfgs []Config, opt Option
 		shareGlue = DefaultShareMaxGlue
 	}
 	if shareLen > 0 && n > 1 {
-		h := newHub(solvers)
+		h := NewHub(solvers)
 		for i := range solvers {
 			i := i
 			solvers[i].SetLearntExport(shareLen, func(lits []cnf.Lit, glue int) {
-				h.publish(i, lits, glue)
+				h.Publish(i, lits, glue)
 			})
 			if shareGlue > 0 {
 				solvers[i].SetLearntExportGlue(shareGlue)

@@ -26,13 +26,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"berkmin"
+	"berkmin/internal/conc"
 )
 
 // Config sizes the daemon. The zero value is usable: every field falls
@@ -77,9 +77,7 @@ type Config struct {
 func DefaultConfig() Config { return Config{}.withDefaults() }
 
 func (c Config) withDefaults() Config {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
+	c.Workers = conc.Jobs(c.Workers)
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2048
 	}
