@@ -98,6 +98,9 @@ var (
 	// ModernOptions combines the tiered database, Luby restarts, phase
 	// saving and EVSIDS branching — the solver's most contemporary profile.
 	ModernOptions = core.ModernOptions
+	// IncrementalOptions is the modern profile plus between-query heuristic
+	// decay (Options.QueryDecay) — the profile for IC3/BMC query streams.
+	IncrementalOptions = core.IncrementalOptions
 )
 
 // Solver is a CDCL SAT solver over DIMACS-style signed integer literals.

@@ -1,0 +1,85 @@
+package berkmin
+
+// Bounded model checking as an incremental query stream: the scenario the
+// clause-group machinery (incremental.go) exists for. One long-lived
+// solver holds the growing transition-relation encoding permanently;
+// each depth's "the property fails somewhere in frames 0..d" disjunction
+// is a clause group, released as the bound advances — so learnt clauses
+// about the transition logic carry from depth to depth while the per-depth
+// constraint evaporates instead of accumulating.
+
+import (
+	"fmt"
+
+	"berkmin/internal/circuit"
+	"berkmin/internal/cnf"
+)
+
+// BMCResult is the outcome of a BMC run.
+type BMCResult struct {
+	// Status: StatusSat when a counterexample was found (Depth is its
+	// length), StatusUnsat when no counterexample of length <= the
+	// requested bound exists, StatusUnknown when a resource limit stopped
+	// the run at Depth.
+	Status Status
+	// Depth is the counterexample length (Sat), the proven bound (Unsat),
+	// or the depth being probed when a limit hit (Unknown).
+	Depth int
+	// Queries is the number of solver calls issued (one per depth probed).
+	Queries int
+	// Stats is the solver's cumulative accounting across the whole stream.
+	Stats Stats
+}
+
+// BMC bounded-model-checks the circuit up to maxDepth transition frames,
+// returning at the shallowest counterexample. Frames are encoded
+// incrementally (circuit.Unroller) into one solver; per-depth bad-state
+// disjunctions live in clause groups released as the bound advances.
+func BMC(sc *SeqCircuit, maxDepth int, opt Options) (BMCResult, error) {
+	if maxDepth < 0 {
+		return BMCResult{}, fmt.Errorf("berkmin: BMC depth must be >= 0 (got %d)", maxDepth)
+	}
+	u, err := sc.Unroller()
+	if err != nil {
+		return BMCResult{}, err
+	}
+	s := NewWithOptions(opt)
+	return bmcStream(s, u, maxDepth)
+}
+
+// bmcStream drives the iterative-deepening query stream on a prepared
+// solver and unroller (split out so tests and benchmarks can supply a
+// configured solver, e.g. with a proof writer attached).
+func bmcStream(s *Solver, u *circuit.Unroller, maxDepth int) (BMCResult, error) {
+	res := BMCResult{Status: StatusUnsat}
+	var bads []int
+	for d := 0; d <= maxDepth; d++ {
+		fail := u.Step()
+		bads = append(bads, fail.Dimacs())
+		// The new frame's transition logic is permanent.
+		delta := &cnf.Formula{NumVars: u.NumVars(), Clauses: u.Delta()}
+		if err := s.AddFormula(delta); err != nil {
+			return res, fmt.Errorf("berkmin: BMC frame %d: %w", d, err)
+		}
+		// This depth's question — "some frame in 0..d fails" — is
+		// temporary: a group released as soon as the bound advances.
+		g := s.NewClauseGroup()
+		if err := s.AddClauseGroup(g, bads...); err != nil {
+			return res, fmt.Errorf("berkmin: BMC frame %d: %w", d, err)
+		}
+		r := s.Solve()
+		res.Queries++
+		res.Stats = r.Stats
+		res.Depth = d
+		switch r.Status {
+		case StatusSat:
+			res.Status = StatusSat
+			return res, nil
+		case StatusUnknown:
+			res.Status = StatusUnknown
+			return res, nil
+		}
+		s.ReleaseGroup(g)
+	}
+	return res, nil
+}

@@ -34,6 +34,7 @@ func run() int {
 		jobs         = flag.Int("portfolio", 0, "bench the N-job parallel portfolio against sequential BerkMin instead of a table")
 		cubeJobs     = flag.Int("cube", 0, "bench cube-and-conquer scaling (1,2,4,..,N workers vs sequential BerkMin) on the hard set, instead of a table")
 		queryStream  = flag.Int("querystream", 0, "bench a K-query assumption stream: snapshot+pool reuse vs rebuild-per-query, instead of a table")
+		ic3Depth     = flag.Int("ic3", 0, "bench an IC3/BMC deepening stream to this depth: one group-incremental solver vs rebuild-per-depth, instead of a table")
 		serverStream = flag.Int("server", 0, "bench a K-query assumption stream through a live satserved daemon vs the in-process pool, instead of a table")
 		scale        = flag.String("scale", "medium", "instance scale: small, medium, large")
 		maxConflicts = flag.Uint64("max-conflicts", 2_000_000, "per-run conflict budget (0 = unlimited)")
@@ -77,6 +78,24 @@ func run() int {
 		}
 		r := bench.QueryStream(bench.QueryStreamInstance(sc), *queryStream, *preprocess)
 		fmt.Print(bench.RenderQueryStream(r))
+		if r.Mismatches > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	if *ic3Depth != 0 {
+		if *ic3Depth < 1 {
+			fmt.Fprintf(os.Stderr, "-ic3 needs a positive depth bound (got %d)\n", *ic3Depth)
+			return 1
+		}
+		sc3, _ := bench.IC3Instance(sc)
+		r, err := bench.IC3Stream(sc3, *ic3Depth, bench.IC3Options())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Print(bench.RenderIC3(r))
 		if r.Mismatches > 0 {
 			return 1
 		}

@@ -1,0 +1,205 @@
+package berkmin
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"berkmin/internal/cnf"
+)
+
+// Front-end clause groups compose with SatELite preprocessing: group
+// clauses may mention variables the simplifier eliminated (their defining
+// clauses are restored), models verify against the pristine formula, and
+// the core comes back in group form.
+func TestFrontEndGroupsWithSimplify(t *testing.T) {
+	s := New()
+	so := DefaultSimplifyOptions()
+	s.SetSimplify(&so)
+	f := NewFormula(4)
+	f.Add(cnf.NewClause(1, 2))
+	f.Add(cnf.NewClause(-1, 2))
+	f.Add(cnf.NewClause(2, 3))
+	f.Add(cnf.NewClause(-3, 4))
+	if err := s.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+
+	// The base implies 2; a group demanding ¬2 is contradictory while live.
+	g := s.NewClauseGroup()
+	if err := s.AddClauseGroup(g, -2); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Solve()
+	if r.Status != StatusUnsat {
+		t.Fatalf("live group: %v, want UNSAT", r.Status)
+	}
+	groups, user := s.UnsatCore()
+	if len(groups) != 1 || groups[0] != g || len(user) != 0 {
+		t.Fatalf("UnsatCore = %v/%v, want [%v]/[]", groups, user, g)
+	}
+
+	s.ReleaseGroup(g)
+	if !s.GroupReleased(g) {
+		t.Fatal("GroupReleased = false after release")
+	}
+	r = s.Solve()
+	if r.Status != StatusSat {
+		t.Fatalf("after release: %v, want SAT", r.Status)
+	}
+	// Model verification against the pristine mirror runs inside Solve
+	// (SetVerifyModels defaults on); double-check the original formula too.
+	m := make(cnf.Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		m[v] = r.Model[v]
+	}
+	if !m.Satisfies(f) {
+		t.Fatal("model violates the original formula")
+	}
+}
+
+// A front-end DRUP trace spanning two group releases verifies against
+// ProofFormula (base + extended group clauses + release units).
+func TestFrontEndGroupProofAcrossReleases(t *testing.T) {
+	s := New()
+	var proof bytes.Buffer
+	s.SetProofWriter(&proof)
+	f := NewFormula(3)
+	f.Add(cnf.NewClause(1, 2))
+	f.Add(cnf.NewClause(-2, 3))
+	if err := s.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+
+	g1 := s.NewClauseGroup()
+	for _, c := range [][]int{{4, 5}, {-4}, {-5}} {
+		if err := s.AddClauseGroup(g1, c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2 := s.NewClauseGroup()
+	if err := s.AddClauseGroup(g2, 6); err != nil {
+		t.Fatal(err)
+	}
+
+	if r := s.Solve(); r.Status != StatusUnsat {
+		t.Fatalf("g1 live: %v, want UNSAT", r.Status)
+	}
+	s.ReleaseGroup(g1)
+	if r := s.Solve(); r.Status != StatusSat {
+		t.Fatalf("g1 released: %v, want SAT", r.Status)
+	}
+	s.ReleaseGroup(g2)
+	if r := s.Solve(); r.Status != StatusSat {
+		t.Fatalf("both released: %v, want SAT", r.Status)
+	}
+
+	// Refute outright so the trace ends in the empty clause.
+	for _, c := range [][]int{{7, 8}, {7, -8}, {-7, 8}, {-7, -8}} {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := s.Solve(); r.Status != StatusUnsat {
+		t.Fatalf("epilogue: %v, want UNSAT", r.Status)
+	}
+
+	res, err := CheckDRUP(s.ProofFormula(), &proof)
+	if err != nil {
+		t.Fatalf("proof spanning releases rejected: %v", err)
+	}
+	if !res.EmptyDerived {
+		t.Fatalf("proof never derives the empty clause: %+v", res)
+	}
+}
+
+// A pooled solver that grew its variable count mid-lifetime (an assumption
+// named a variable beyond the snapshot's) is safe to recycle: concurrent
+// Get / SolveAssuming-with-fresh-var / Put must be race-free and every
+// verdict correct. Run with -race.
+func TestPoolGrownVarReuse(t *testing.T) {
+	master := New()
+	f := NewFormula(3)
+	f.Add(cnf.NewClause(1, 2))
+	f.Add(cnf.NewClause(-1, 3))
+	if err := master.AddFormula(f); err != nil {
+		t.Fatal(err)
+	}
+	pool := master.Snapshot().NewPool()
+	pool.SetMaxIdle(4)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				s := pool.Get()
+				// A fresh variable well beyond the snapshot's 3: the solver
+				// grows every per-variable plane mid-lifetime.
+				fresh := 10 + (w*20+i)%37
+				r := s.SolveAssuming(fresh, -2)
+				if r.Status != StatusSat {
+					errs <- r.Status.String()
+				} else if !r.Model[fresh] || r.Model[2] {
+					errs <- "assumptions not honored in model"
+				}
+				pool.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("grown-var pooled solve: %s", e)
+	}
+}
+
+// The BMC driver: a safe circuit proves out to the bound, a buggy one
+// fails at exactly the depth a monolithic unrolling confirms.
+func TestBMCDriver(t *testing.T) {
+	safe := FIFO(2, false)
+	r, err := BMC(safe, 10, IncrementalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusUnsat || r.Depth != 10 || r.Queries != 11 {
+		t.Fatalf("safe FIFO: %v at depth %d (%d queries), want UNSAT through 10", r.Status, r.Depth, r.Queries)
+	}
+
+	buggy := FIFO(2, true)
+	r, err = BMC(buggy, 10, IncrementalOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusSat {
+		t.Fatalf("buggy FIFO: %v, want SAT", r.Status)
+	}
+	// Cross-check the exact failure depth against monolithic unrollings.
+	for d := r.Depth - 1; d <= r.Depth; d++ {
+		f, err := safeUnroll(buggy, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono := New()
+		if err := mono.AddFormula(f); err != nil {
+			t.Fatal(err)
+		}
+		got := mono.Solve().Status
+		want := StatusUnsat
+		if d == r.Depth {
+			want = StatusSat
+		}
+		if got != want {
+			t.Fatalf("monolithic unroll at depth %d: %v, want %v (BMC said fail depth %d)", d, got, want, r.Depth)
+		}
+	}
+
+	if _, err := BMC(safe, -1, DefaultOptions()); err == nil {
+		t.Fatal("BMC accepted a negative depth")
+	}
+}
+
+func safeUnroll(sc *SeqCircuit, d int) (*Formula, error) { return sc.Unroll(d) }

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"berkmin"
+	"berkmin/internal/circuit"
+)
+
+// IC3StreamResult compares two ways of running a BMC deepening loop — the
+// IC3-shaped query stream the clause-group machinery serves: one
+// group-incremental solver for the whole stream (berkmin.BMC) versus
+// re-unrolling, re-feeding and re-solving a fresh solver at every depth.
+type IC3StreamResult struct {
+	Circuit     string
+	MaxDepth    int
+	FailDepth   int // shallowest counterexample, -1 if safe through MaxDepth
+	Queries     int
+	Incremental time.Duration // one solver, clause groups per depth
+	Rebuild     time.Duration // fresh solver + full unrolling per depth
+	Speedup     float64       // Rebuild / Incremental
+	Mismatches  int           // verdict disagreements between the two paths
+}
+
+// IC3Stream runs the deepening loop on both paths and cross-checks every
+// depth's verdict.
+func IC3Stream(sc *circuit.SeqCircuit, maxDepth int, opt berkmin.Options) (IC3StreamResult, error) {
+	start := time.Now()
+	inc, err := berkmin.BMC(sc, maxDepth, opt)
+	incremental := time.Since(start)
+	if err != nil {
+		return IC3StreamResult{}, err
+	}
+	res := IC3StreamResult{
+		Circuit:     sc.Name,
+		MaxDepth:    maxDepth,
+		FailDepth:   -1,
+		Queries:     inc.Queries,
+		Incremental: incremental,
+	}
+	if inc.Status == berkmin.StatusSat {
+		res.FailDepth = inc.Depth
+	}
+
+	// Rebuild path: probe the same depths, each with a fresh solver over a
+	// fresh full unrolling. The incremental verdict implies UNSAT below
+	// FailDepth and SAT at it; cross-check each depth.
+	last := inc.Depth
+	start = time.Now()
+	for d := 0; d <= last; d++ {
+		f, err := sc.Unroll(d)
+		if err != nil {
+			return IC3StreamResult{}, err
+		}
+		s := berkmin.NewWithOptions(opt)
+		if err := s.AddFormula(f); err != nil {
+			return IC3StreamResult{}, err
+		}
+		got := s.Solve().Status
+		want := berkmin.StatusUnsat
+		if d == res.FailDepth {
+			want = berkmin.StatusSat
+		}
+		if got != want {
+			res.Mismatches++
+		}
+	}
+	res.Rebuild = time.Since(start)
+	res.Speedup = float64(res.Rebuild) / float64(res.Incremental)
+	return res, nil
+}
+
+// IC3Options is the solver profile the -ic3 mode runs both paths with:
+// the incremental preset, so the comparison isolates the group machinery
+// and state reuse rather than a configuration difference.
+func IC3Options() berkmin.Options { return berkmin.IncrementalOptions() }
+
+// IC3Instance picks the circuit the -ic3 mode deepens at each scale: buggy
+// FIFO controllers whose overflow is reachable at capacity+1 pushes, so
+// the stream has a long UNSAT prefix (where group release and carried
+// learnt clauses pay off) and a SAT witness at a known depth.
+func IC3Instance(sc Scale) (*circuit.SeqCircuit, int) {
+	switch sc {
+	case Small:
+		return circuit.FIFO(3, true), 12 // fails at depth 9
+	case Medium:
+		return circuit.FIFO(5, true), 40 // fails at depth 33
+	default:
+		return circuit.FIFO(6, true), 72 // fails at depth 65
+	}
+}
+
+// RenderIC3 formats the comparison as a small report table.
+func RenderIC3(r IC3StreamResult) string {
+	verdict := "safe through bound"
+	if r.FailDepth >= 0 {
+		verdict = fmt.Sprintf("counterexample at depth %d", r.FailDepth)
+	}
+	s := fmt.Sprintf("IC3/BMC query stream: %s to depth %d (%s, %d queries)\n",
+		r.Circuit, r.MaxDepth, verdict, r.Queries)
+	s += fmt.Sprintf("  rebuild per depth:   %v\n", r.Rebuild)
+	s += fmt.Sprintf("  incremental groups:  %v\n", r.Incremental)
+	s += fmt.Sprintf("  speedup:             %.1fx\n", r.Speedup)
+	if r.Mismatches > 0 {
+		s += fmt.Sprintf("  VERDICT MISMATCHES: %d\n", r.Mismatches)
+	}
+	return s
+}

@@ -92,44 +92,99 @@ func (sc *SeqCircuit) UnrollIncremental(k int) (*cnf.Formula, []cnf.Var, error) 
 
 // unrollFrames stamps frames 0..k of the transition relation into b and
 // returns the per-frame property-failure literals (fail_t is true iff the
-// property is violated in frame t).
+// property is violated in frame t). The one-shot unrollers share the
+// streaming Unroller's frame stamper.
 func (sc *SeqCircuit) unrollFrames(b *cnf.Builder, k int) []cnf.Lit {
-	var bad []cnf.Lit
-
-	// State variables of the current frame boundary.
-	state := make([]cnf.Var, sc.StateBits)
-	for i := range state {
-		state[i] = b.Fresh()
-		// Frame 0 state = initial values.
-		b.Unit(cnf.MkLit(state[i], !sc.Init[i]))
-	}
+	u := &Unroller{sc: sc, b: b}
+	u.initFrame0()
 	for t := 0; t <= k; t++ {
-		// Pin the state inputs of this frame to the boundary variables.
-		pins := make(map[int]cnf.Var, sc.StateBits)
-		for i := 0; i < sc.StateBits; i++ {
-			pins[sc.Comb.PIs[sc.FreeIns+i]] = state[i]
-		}
-		enc := Tseitin(b, sc.Comb, pins)
-		// Property of this frame; collect its failure.
-		prop := enc.OutputLit(sc.Comb, sc.StateBits)
-		fail := cnf.PosLit(b.Fresh())
-		// fail ↔ ¬prop
-		b.Iff(fail, prop.Not())
-		bad = append(bad, fail)
-		// Next frame's state is this frame's next-state outputs.
-		if t < k {
-			for i := 0; i < sc.StateBits; i++ {
-				state[i] = cnf.Var(0)
-				l := enc.OutputLit(sc.Comb, i)
-				// Materialize a boundary variable equal to the next-state
-				// literal so the next frame can pin to a plain variable.
-				v := b.Fresh()
-				b.Iff(cnf.PosLit(v), l)
-				state[i] = v
-			}
-		}
+		u.Step()
 	}
-	return bad
+	return u.bad
+}
+
+// Unroller streams a circuit's BMC encoding one frame at a time, for
+// incremental solvers: each Step stamps the next transition frame and
+// returns its property-failure literal, and Delta hands out the clauses
+// added since the last take — the caller feeds those to a long-lived
+// solver instead of re-encoding frames 0..k at every depth. Obtain one
+// with SeqCircuit.Unroller.
+type Unroller struct {
+	sc    *SeqCircuit
+	b     *cnf.Builder
+	state []cnf.Var // boundary state variables of the next frame to stamp
+	bad   []cnf.Lit // per-frame property-failure literals, indexed by depth
+	taken int       // clauses already handed out by Delta
+}
+
+// Unroller returns a streaming unroller positioned before frame 0.
+func (sc *SeqCircuit) Unroller() (*Unroller, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unroller{sc: sc, b: cnf.NewBuilder()}
+	u.initFrame0()
+	return u, nil
+}
+
+// initFrame0 allocates the frame-0 boundary state constrained to the
+// initial values.
+func (u *Unroller) initFrame0() {
+	u.state = make([]cnf.Var, u.sc.StateBits)
+	for i := range u.state {
+		u.state[i] = u.b.Fresh()
+		u.b.Unit(cnf.MkLit(u.state[i], !u.sc.Init[i]))
+	}
+}
+
+// Depth returns how many frames have been stamped (the next Step encodes
+// frame Depth()).
+func (u *Unroller) Depth() int { return len(u.bad) }
+
+// NumVars returns the variable count of the encoding so far.
+func (u *Unroller) NumVars() int { return u.b.NumVars() }
+
+// Bad returns frame t's property-failure literal (t < Depth()).
+func (u *Unroller) Bad(t int) cnf.Lit { return u.bad[t] }
+
+// Step stamps the next transition frame — the combinational logic, the
+// property failure, and the materialized next-frame state boundary — and
+// returns the new frame's failure literal (true iff the property is
+// violated in that frame).
+func (u *Unroller) Step() cnf.Lit {
+	sc := u.sc
+	// Pin the state inputs of this frame to the boundary variables.
+	pins := make(map[int]cnf.Var, sc.StateBits)
+	for i := 0; i < sc.StateBits; i++ {
+		pins[sc.Comb.PIs[sc.FreeIns+i]] = u.state[i]
+	}
+	enc := Tseitin(u.b, sc.Comb, pins)
+	// Property of this frame; collect its failure.
+	prop := enc.OutputLit(sc.Comb, sc.StateBits)
+	fail := cnf.PosLit(u.b.Fresh())
+	// fail ↔ ¬prop
+	u.b.Iff(fail, prop.Not())
+	u.bad = append(u.bad, fail)
+	// Materialize boundary variables equal to the next-state outputs so
+	// the next frame can pin to plain variables. (The one-shot unroll
+	// skipped this for the last frame; streaming cannot know which frame
+	// is last, and the extra Iff per state bit is negligible.)
+	for i := 0; i < sc.StateBits; i++ {
+		v := u.b.Fresh()
+		u.b.Iff(cnf.PosLit(v), enc.OutputLit(sc.Comb, i))
+		u.state[i] = v
+	}
+	return fail
+}
+
+// Delta returns the clauses stamped since the previous Delta call (or
+// since construction), shared with the underlying builder — read-only,
+// valid until the next Step.
+func (u *Unroller) Delta() []cnf.Clause {
+	cl := u.b.Building().Clauses
+	d := cl[u.taken:len(cl):len(cl)]
+	u.taken = len(cl)
+	return d
 }
 
 // Counter builds an n-bit wrap-around counter that increments every cycle

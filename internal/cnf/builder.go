@@ -137,3 +137,9 @@ func (b *Builder) ExactlyOneLadder(ls ...Lit) {
 
 // Formula returns the built formula. The Builder must not be used after.
 func (b *Builder) Formula() *Formula { return b.f }
+
+// Building returns the formula under construction without finalizing it:
+// the Builder stays usable, and the caller must treat the result as
+// read-only. Streaming consumers remember len(Clauses) between looks to
+// take just the increment (see circuit.Unroller).
+func (b *Builder) Building() *Formula { return b.f }

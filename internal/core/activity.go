@@ -27,3 +27,10 @@ func (d *berkminDecider) decay() {
 		d.chaffAct[l] /= div
 	}
 }
+
+// onNewQuery fades the previous queries' influence with one extra aging
+// step: the integer counters keep their relative order (the heaps stay
+// valid) but weigh less against the coming query's bumps. QueryDecay's
+// magnitude is ignored here — BerkMin's counters age by division, so the
+// configured AgingDivisor is the natural step.
+func (d *berkminDecider) onNewQuery() { d.decay() }

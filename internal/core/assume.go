@@ -10,10 +10,13 @@ import "berkmin/internal/cnf"
 // learnt so far retained.
 
 // SolveAssuming runs the search with the given assumption literals forced
-// first. If the formula is unsatisfiable only because of the assumptions,
-// the result is StatusUnsat with FailedAssumptions holding an
-// (inclusion-minimal-ish) subset of assumptions responsible; a globally
-// unsatisfiable formula reports an empty FailedAssumptions.
+// first (after the activation literals of any live clause groups). If the
+// formula is unsatisfiable only because of the assumptions, the result is
+// StatusUnsat with FailedAssumptions holding a subset of assumptions
+// responsible — deduplicated and in first-occurrence caller order (see
+// Result.FailedAssumptions for the exact contract), near-minimal when a
+// shrink budget is set (SetShrinkBudget), inclusion-minimal-ish otherwise.
+// A globally unsatisfiable formula reports an empty FailedAssumptions.
 func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Result {
 	// An assumption may name a variable no clause has mentioned yet; it is
 	// simply free (the assumption fixes it, constraining nothing). Grow
@@ -23,12 +26,30 @@ func (s *Solver) SolveAssuming(assumptions []cnf.Lit) Result {
 			s.ensureVars(v)
 		}
 	}
-	return s.solve(assumptions)
+	r := s.solve(s.withGroupAssumptions(assumptions))
+	if r.Status == StatusUnsat && s.shrinkBudget > 0 && len(r.FailedAssumptions) > 1 {
+		// Minimize destructively with budgeted re-solves. The failed set
+		// and the group core are only valid as a pair from one UNSAT
+		// answer, so shrinkFailed hands back the core matching whichever
+		// probe produced the final candidate (the main answer's when no
+		// probe succeeded).
+		shrunk, core := s.shrinkFailed(r.FailedAssumptions, s.lastCore)
+		r.FailedAssumptions = shrunk
+		s.lastCore = core
+		s.lastFailed = shrunk
+	}
+	return r
 }
 
 // analyzeFinal computes the subset of assumptions that force ¬p, walking
 // antecedents from the falsified assumption p backwards to assumption
 // decisions (MiniSat's conflict-clause-in-terms-of-assumptions analysis).
+// The output is RAW: p itself is always first, the rest follow in reverse
+// trail order, and when the caller assumed the same literal twice (a
+// duplicate assumption re-asserted as a dummy level and then reached again
+// as p) a literal can appear twice. partitionFailed (groups.go) is the
+// layer that dedupes, restores caller order, and splits out group
+// activation literals — every consumer goes through it.
 func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 	out := []cnf.Lit{p}
 	if s.decisionLevel() == 0 {

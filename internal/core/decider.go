@@ -41,6 +41,13 @@ type decider interface {
 	// decay is the periodic aging hook, driven by Options.AgingPeriod.
 	// Deciders with their own decay schedule (EVSIDS, LRB) ignore it.
 	decay()
+	// onNewQuery marks the boundary between queries of an incremental
+	// stream: called at the start of every solve after the first when
+	// Options.QueryDecay is set (solver.go), so heuristic state survives
+	// the stream but earlier queries' influence fades instead of
+	// compounding. With QueryDecay unset (the default) it is never
+	// invoked and the legacy carry-everything behavior is exact.
+	onNewQuery()
 	// rebuild grows the per-variable and per-literal state to cover
 	// variables 1..n, registering the new variables for selection.
 	rebuild(n int)

@@ -40,6 +40,17 @@ func (d *evsidsDecider) onAssign(cnf.Lit)   {}
 // increment (onConflict), so Options.AgingPeriod does not apply.
 func (d *evsidsDecider) decay() {}
 
+// onNewQuery scales every activity by QueryDecay while leaving the bump
+// increment alone, so the coming query's bumps weigh relatively more than
+// the accumulated history. The uniform scaling is order-preserving — the
+// heap stays valid without a rebuild.
+func (d *evsidsDecider) onNewQuery() {
+	f := d.s.opt.QueryDecay
+	for v := range d.act {
+		d.act[v] *= f
+	}
+}
+
 func (d *evsidsDecider) onConflict() {
 	// Growing the increment decays every existing activity relative to
 	// future bumps. Guard the increment itself: a conflict-rich search with

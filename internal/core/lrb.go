@@ -43,6 +43,18 @@ func (d *lrbDecider) hooksAssigns() bool { return true }
 // locality fade (onConflict); Options.AgingPeriod does not apply.
 func (d *lrbDecider) decay() {}
 
+// onNewQuery scales every reward average by QueryDecay (uniform, so the
+// heap order is preserved) and re-boosts the EMA step back to LrbAlpha:
+// the new query's conflicts should re-shape the averages quickly, the way
+// a fresh lifetime would, without discarding what transfers.
+func (d *lrbDecider) onNewQuery() {
+	f := d.s.opt.QueryDecay
+	for v := range d.act {
+		d.act[v] *= f
+	}
+	d.alpha = d.s.opt.LrbAlpha
+}
+
 func (d *lrbDecider) onAssign(l cnf.Lit) {
 	v := l.Var()
 	d.assignedAt[v] = d.conflicts

@@ -213,6 +213,16 @@ type Options struct {
 	// heuristics when enabled, so it exists purely as an ablation).
 	PhaseSaving bool
 
+	// QueryDecay, in (0, 1), fades heuristic state between the calls of an
+	// incremental query stream: at the start of every solve after the
+	// first, the installed decider's activities are decayed once more
+	// (EVSIDS/LRB scale by this factor; BerkMin applies one extra aging
+	// step) so state survives across queries without earlier queries'
+	// bumps compounding forever. 0 (the default) disables the hook
+	// entirely — heuristic state carries over untouched, exactly as
+	// before this option existed.
+	QueryDecay float64
+
 	// Resource limits (0 = unlimited). Exceeding a limit yields StatusUnknown.
 	MaxConflicts uint64
 	MaxDecisions uint64
@@ -377,6 +387,16 @@ func ModernOptions() Options {
 	return o
 }
 
+// IncrementalOptions tunes the engine for IC3/BMC-style query streams —
+// many small assumption-laden solves against one mostly-stable formula:
+// the modern profile plus between-query heuristic decay, so activities
+// track the stream instead of fossilizing around the first queries.
+func IncrementalOptions() Options {
+	o := ModernOptions()
+	o.QueryDecay = 0.7
+	return o
+}
+
 // normalize fills in unset (zero) fields that would otherwise divide by
 // zero or loop forever.
 func (o *Options) normalize() {
@@ -452,6 +472,12 @@ func (o *Options) normalize() {
 	}
 	if o.LrbLocality <= 0 || o.LrbLocality > 1 {
 		o.LrbLocality = 0.95
+	}
+	// Between-query decay: a factor outside (0, 1) would grow activities
+	// (>1), zero them (≤0 would also flip heap order) or do nothing (1);
+	// any such value means "off", the documented default.
+	if o.QueryDecay < 0 || o.QueryDecay >= 1 {
+		o.QueryDecay = 0
 	}
 	if o.InprocessMaxOcc <= 0 {
 		o.InprocessMaxOcc = 40

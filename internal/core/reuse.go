@@ -115,6 +115,13 @@ func (s *Solver) resetPolicyState() {
 	s.vivifyHead = 0
 	s.noPhaseSave = false
 	s.postponeStreak = 0
+	// Query-stream positions: a reset (or reconfigured) solver starts a
+	// fresh stream, so the next solve counts as its first query and the
+	// previous lifetime's core is gone. The group table itself is formula
+	// plane and survives — only the stream position restarts.
+	s.queriesSeen = 0
+	s.lastCore = nil
+	s.lastFailed = nil
 	if s.opt.RestartPostpone {
 		if len(s.recentGlue) != s.opt.PostponeWindow {
 			s.recentGlue = make([]int32, s.opt.PostponeWindow)
@@ -181,6 +188,13 @@ func (s *Solver) Clone() *Solver {
 
 		tieredTarget: s.tieredTarget,
 
+		groups:          append([]groupInfo(nil), s.groups...),
+		pendingReleases: s.pendingReleases,
+		lastCore:        append([]GroupID(nil), s.lastCore...),
+		lastFailed:      append([]cnf.Lit(nil), s.lastFailed...),
+		queriesSeen:     s.queriesSeen,
+		shrinkBudget:    s.shrinkBudget,
+
 		rng: s.rng,
 
 		ok:             s.ok,
@@ -200,6 +214,12 @@ func (s *Solver) Clone() *Solver {
 	}
 	// Stats is a value copy except for the skin histogram's backing array.
 	c.stats.Skin.Counts = append([]uint64(nil), s.stats.Skin.Counts...)
+	if s.groupOf != nil {
+		c.groupOf = make(map[cnf.Var]GroupID, len(s.groupOf))
+		for v, g := range s.groupOf {
+			c.groupOf[v] = g
+		}
+	}
 	// The branching plane carries its own state (activities, heaps, reward
 	// accounting); its clone rebinds every internal pointer to the copy.
 	c.dec = s.dec.clone(c)

@@ -53,7 +53,12 @@ type Result struct {
 	Model []bool
 	// FailedAssumptions, for an UNSAT answer from SolveAssuming, holds a
 	// subset of the assumptions that is already contradictory with the
-	// formula. Empty when the formula is unsatisfiable on its own.
+	// formula (together with any live clause groups — see UnsatCore for
+	// the group side). Empty when the formula is unsatisfiable on its own.
+	// Order contract: each failed assumption appears exactly once, in the
+	// order of its first occurrence in the caller's assumption list —
+	// duplicate assumptions are reported once, and complementary
+	// assumptions (p and ¬p both assumed) are two distinct entries.
 	FailedAssumptions []cnf.Lit
 	// Stats describes the run.
 	Stats Stats
@@ -95,6 +100,15 @@ type Solver struct {
 	binOcc [][]cnf.Lit
 
 	ok bool // false once UNSAT is established at level 0 (a formula property)
+
+	// Clause groups (groups.go): the group table maps GroupIDs to their
+	// activation variables and release state — formula plane, like the
+	// level-0 release units it generates. pendingReleases counts releases
+	// whose clauses have not been physically reaped yet (done lazily at
+	// the next solve entry).
+	groups          []groupInfo
+	groupOf         map[cnf.Var]GroupID // activation variable → its group
+	pendingReleases int
 
 	// ---- Watch lists: formula-shaped, search-filled. Indexed per literal
 	// like binOcc, but entries cover learnt clauses too, so Reset rebuilds
@@ -145,6 +159,16 @@ type Solver struct {
 
 	tieredTarget int     // learnt count triggering the next LOCAL halving (ReduceTiered)
 	tierCand     []int32 // reduceTiered candidate scratch, reused across cleanings
+
+	// Incremental query-stream state (groups.go, assume.go): the last
+	// UNSAT answer's core, the between-query decay counter driving the
+	// decider's onNewQuery hook, the failed-assumption shrink budget, and
+	// the scratch buffer for prepending live-group activation literals.
+	lastCore       []GroupID
+	lastFailed     []cnf.Lit
+	queriesSeen    uint64
+	shrinkBudget   uint64
+	groupAssumpBuf []cnf.Lit
 
 	// Inprocessing scratch (inprocess.go), reused so steady-state passes
 	// allocate nothing: work list, per-literal occurrence index, size
@@ -438,7 +462,8 @@ func (s *Solver) notePeak() {
 // Solve runs the CDCL search to completion or until a limit is exceeded.
 // The solver remains usable afterwards: more clauses can be added and
 // Solve (or SolveAssuming) called again, retaining everything learnt.
-func (s *Solver) Solve() Result { return s.solve(nil) }
+// Live clause groups (groups.go) are enforced automatically.
+func (s *Solver) Solve() Result { return s.solve(s.withGroupAssumptions(nil)) }
 
 func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 	start := time.Now()
@@ -447,6 +472,19 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 		s.stats.Runtime = time.Since(start)
 		res.Stats = s.stats
 	}()
+
+	if s.pendingReleases > 0 {
+		s.reapReleased()
+	}
+	// A new query in an incremental stream: let the decider fade the
+	// previous queries' influence (Options.QueryDecay; 0 keeps the legacy
+	// carry-everything behavior, bit-for-bit).
+	if s.queriesSeen > 0 && s.opt.QueryDecay > 0 && s.ok {
+		s.dec.onNewQuery()
+	}
+	s.queriesSeen++
+	s.lastCore = nil
+	s.lastFailed = nil
 
 	s.stats.InitialClauses = len(s.clauses)
 	s.notePeak()
@@ -541,9 +579,14 @@ func (s *Solver) solve(assumptions []cnf.Lit) (res Result) {
 			case lTrue:
 				s.newDecisionLevel() // dummy level keeps the indexing aligned
 			case lFalse:
-				failed := s.analyzeFinal(p)
+				// The raw analysis can name one assumption twice (reached
+				// both as p and via the trail) and mixes group activation
+				// literals with the caller's; partition into the group core
+				// and a deduplicated, caller-ordered failed set (groups.go).
+				raw := s.analyzeFinal(p)
+				s.lastCore, s.lastFailed = s.partitionFailed(raw, assumptions)
 				r := s.finish(StatusUnsat, nil)
-				r.FailedAssumptions = failed
+				r.FailedAssumptions = s.lastFailed
 				return r
 			default:
 				next = p

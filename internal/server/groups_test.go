@@ -1,0 +1,108 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"berkmin"
+)
+
+// storedQueryFormula: (¬1 ∨ ¬2) plus satisfiable padding.
+func storedQueryFormula(t *testing.T) *berkmin.Formula {
+	t.Helper()
+	f, err := berkmin.ReadDimacs(strings.NewReader("p cnf 4 2\n-1 -2 0\n3 4 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// Per-query temporary clauses: enforced for the request they rode in on,
+// absent from the next query against the same stored formula, and flagged
+// in temp_in_core when they caused the UNSAT.
+func TestSolveStoredTempClauses(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	putFormula(t, ts, "f", storedQueryFormula(t))
+	url := ts.URL + "/formulas/f/solve"
+
+	// Temp clauses (1) and (2) contradict the stored (¬1 ∨ ¬2).
+	resp, rep := postJSON(t, url, solveRequest{TempClauses: [][]int{{1}, {2}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if rep.Status != berkmin.StatusUnsat.String() {
+		t.Fatalf("with temp clauses: %s, want UNSAT", rep.Status)
+	}
+	if !rep.TempInCore {
+		t.Fatal("temp_in_core = false for an UNSAT the temp clauses caused")
+	}
+
+	// The same formula without them is satisfiable: nothing leaked.
+	resp, rep = postJSON(t, url, solveRequest{})
+	if resp.StatusCode != http.StatusOK || rep.Status != berkmin.StatusSat.String() {
+		t.Fatalf("follow-up = %d/%s, want 200/SAT", resp.StatusCode, rep.Status)
+	}
+	if rep.TempInCore {
+		t.Fatal("temp_in_core set on a query without temp clauses")
+	}
+
+	// An innocent temp clause on an assumption-caused UNSAT: not in core.
+	resp, rep = postJSON(t, url, solveRequest{
+		Assumptions: []int{1, 2},
+		TempClauses: [][]int{{3, 4}},
+	})
+	if resp.StatusCode != http.StatusOK || rep.Status != berkmin.StatusUnsat.String() {
+		t.Fatalf("assumption UNSAT = %d/%s, want 200/UNSAT", resp.StatusCode, rep.Status)
+	}
+	if rep.TempInCore {
+		t.Fatal("temp_in_core = true for a temp clause outside the contradiction")
+	}
+	if len(rep.FailedAssumptions) == 0 {
+		t.Fatal("no failed_assumptions on an assumption-caused UNSAT")
+	}
+
+	// Malformed: a zero literal is rejected at admission.
+	resp, _ = postJSON(t, url, solveRequest{TempClauses: [][]int{{1, 0}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("zero literal accepted: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// minimize_core shrinks failed_assumptions to the literals the failure
+// actually needs.
+func TestSolveStoredMinimizeCore(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	putFormula(t, ts, "f", storedQueryFormula(t))
+
+	resp, rep := postJSON(t, ts.URL+"/formulas/f/solve", solveRequest{
+		Assumptions:  []int{3, 1, 4, 2},
+		MinimizeCore: 1000,
+	})
+	if resp.StatusCode != http.StatusOK || rep.Status != berkmin.StatusUnsat.String() {
+		t.Fatalf("minimized solve = %d/%s, want 200/UNSAT", resp.StatusCode, rep.Status)
+	}
+	if len(rep.FailedAssumptions) > 2 {
+		t.Fatalf("failed_assumptions = %v, want the 2-literal minimum", rep.FailedAssumptions)
+	}
+	for _, l := range rep.FailedAssumptions {
+		if l != 1 && l != 2 {
+			t.Fatalf("minimized set %v contains irrelevant literal %d", rep.FailedAssumptions, l)
+		}
+	}
+}
+
+// Temp clauses work on the one-shot endpoint too (embedded solveRequest).
+func TestSolveOneShotTempClauses(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	resp, rep := postJSON(t, ts.URL+"/solve", oneShotRequest{
+		Formula:      "p cnf 2 1\n-1 -2 0\n",
+		solveRequest: solveRequest{TempClauses: [][]int{{1}, {2}}},
+	})
+	if resp.StatusCode != http.StatusOK || rep.Status != berkmin.StatusUnsat.String() {
+		t.Fatalf("one-shot = %d/%s, want 200/UNSAT", resp.StatusCode, rep.Status)
+	}
+	if !rep.TempInCore {
+		t.Fatal("temp_in_core = false on the one-shot path")
+	}
+}

@@ -33,6 +33,17 @@ type job struct {
 	ctx         context.Context
 	assumptions []int
 
+	// Per-query temporary clauses (solveRequest.TempClauses): installed
+	// into a fresh clause group on the job's first slice — tempAdded
+	// guards requeues, which continue the same warm solver — and released
+	// when the query completes. minimizeCore is the per-probe conflict
+	// budget for failed-assumption shrinking, cleared before the solver
+	// returns to the pool.
+	tempClauses  [][]int
+	minimizeCore uint64
+	tempGroup    berkmin.Group
+	tempAdded    bool
+
 	// Exactly one source of a solver: pooled jobs borrow from pool at
 	// execution time (so queued jobs hold no solver memory); one-shot
 	// jobs own solver outright. After a slice requeue, solver carries
@@ -47,10 +58,11 @@ type job struct {
 }
 
 type jobResult struct {
-	res       berkmin.Result
-	err       error
-	queueWait time.Duration
-	requeued  bool
+	res        berkmin.Result
+	err        error
+	queueWait  time.Duration
+	requeued   bool
+	tempInCore bool
 }
 
 // enqueue admits a job to the fast lane, shedding when full.
@@ -140,6 +152,24 @@ func (s *Server) runJob(j *job) {
 	if solver == nil {
 		solver = j.pool.Get()
 	}
+	if len(j.tempClauses) > 0 && !j.tempAdded {
+		j.tempGroup = solver.NewClauseGroup()
+		j.tempAdded = true
+		for _, c := range j.tempClauses {
+			// ErrSolverDead just means UNSAT is already settled; the solve
+			// below reports it. Literals were validated at admission.
+			if err := solver.AddClauseGroup(j.tempGroup, c...); err != nil && !errors.Is(err, berkmin.ErrSolverDead) {
+				if j.pool != nil {
+					j.pool.Put(solver)
+				}
+				j.done <- jobResult{err: err, queueWait: wait}
+				return
+			}
+		}
+	}
+	if j.minimizeCore > 0 {
+		solver.SetCoreMinimize(j.minimizeCore)
+	}
 	solve := func(ctx context.Context) (berkmin.Result, error) {
 		if len(j.assumptions) > 0 {
 			return solver.SolveAssumingContext(ctx, j.assumptions...)
@@ -177,6 +207,25 @@ func (s *Server) runJob(j *job) {
 		r, err = solve(j.ctx)
 	}
 
+	var tempInCore bool
+	if j.tempAdded {
+		if r.Status == berkmin.StatusUnsat {
+			groups, _ := solver.UnsatCore()
+			for _, g := range groups {
+				if g == j.tempGroup {
+					tempInCore = true
+				}
+			}
+		}
+		// Retire the query's group before the solver goes anywhere. The
+		// pool drops a group-diverged solver anyway (temp-clause queries
+		// trade warm reuse for isolation), but releasing keeps any proof
+		// stream and the solver's own state consistent regardless.
+		solver.ReleaseGroup(j.tempGroup)
+	}
+	if j.minimizeCore > 0 {
+		solver.SetCoreMinimize(0)
+	}
 	if j.pool != nil {
 		j.pool.Put(solver)
 	}
@@ -184,7 +233,7 @@ func (s *Server) runJob(j *job) {
 		s.metrics.canceled.Add(1)
 	}
 	s.metrics.recordSolve(r)
-	j.done <- jobResult{res: r, err: err, queueWait: wait, requeued: j.requeued}
+	j.done <- jobResult{res: r, err: err, queueWait: wait, requeued: j.requeued, tempInCore: tempInCore}
 }
 
 // ctxSentinel maps a context error to the root package's sentinels, so

@@ -169,9 +169,32 @@ func (s *Server) Close() {
 type solveRequest struct {
 	// Assumptions are signed DIMACS literals asserted for this query only.
 	Assumptions []int `json:"assumptions,omitempty"`
+	// TempClauses are clauses (lists of signed DIMACS literals) enforced
+	// for this query only: they are installed into a clause group that is
+	// released when the query finishes, so the formula's warm solvers never
+	// accumulate them. On an UNSAT answer, temp_in_core reports whether
+	// they participated in the contradiction.
+	TempClauses [][]int `json:"temp_clauses,omitempty"`
+	// MinimizeCore, when nonzero, shrinks the failed_assumptions of an
+	// UNSAT answer toward a minimal set by re-solving candidate subsets,
+	// spending at most this many conflicts per attempt.
+	MinimizeCore uint64 `json:"minimize_core,omitempty"`
 	// TimeoutMS is the per-request deadline in milliseconds; 0 uses the
 	// server default, and every value is clamped to the server ceiling.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// validate rejects malformed query extensions at admission (before a
+// worker or solver is committed to the request).
+func (q *solveRequest) validate() error {
+	for _, c := range q.TempClauses {
+		for _, lit := range c {
+			if lit == 0 {
+				return errors.New("temp_clauses: 0 is not a DIMACS literal")
+			}
+		}
+	}
+	return nil
 }
 
 type oneShotRequest struct {
@@ -196,18 +219,22 @@ type batchRequest struct {
 }
 
 type solveReply struct {
-	Status            string  `json:"status"`
-	Stop              string  `json:"stop,omitempty"`
-	Error             string  `json:"error,omitempty"`
-	Model             []int   `json:"model,omitempty"`
-	FailedAssumptions []int   `json:"failed_assumptions,omitempty"`
-	Conflicts         uint64  `json:"conflicts"`
-	Decisions         uint64  `json:"decisions"`
-	Propagations      uint64  `json:"propagations"`
-	RuntimeMS         float64 `json:"runtime_ms"`
-	QueueMS           float64 `json:"queue_ms"`
-	Requeued          bool    `json:"requeued,omitempty"`
-	Proof             string  `json:"proof,omitempty"`
+	Status            string `json:"status"`
+	Stop              string `json:"stop,omitempty"`
+	Error             string `json:"error,omitempty"`
+	Model             []int  `json:"model,omitempty"`
+	FailedAssumptions []int  `json:"failed_assumptions,omitempty"`
+	// TempInCore is set on an UNSAT answer to a query that supplied
+	// temp_clauses when the temporary group is part of the UNSAT core
+	// (false means the stored formula and assumptions alone contradict).
+	TempInCore   bool    `json:"temp_in_core,omitempty"`
+	Conflicts    uint64  `json:"conflicts"`
+	Decisions    uint64  `json:"decisions"`
+	Propagations uint64  `json:"propagations"`
+	RuntimeMS    float64 `json:"runtime_ms"`
+	QueueMS      float64 `json:"queue_ms"`
+	Requeued     bool    `json:"requeued,omitempty"`
+	Proof        string  `json:"proof,omitempty"`
 }
 
 type formulaReply struct {
@@ -300,9 +327,14 @@ func (s *Server) handleSolveStored(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 		return
 	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	j := &job{ctx: ctx, assumptions: req.Assumptions, pool: e.pool, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, assumptions: req.Assumptions, tempClauses: req.TempClauses,
+		minimizeCore: req.MinimizeCore, pool: e.pool, enqueued: time.Now(), done: make(chan jobResult, 1)}
 	if err := s.enqueue(j); err != nil {
 		writeError(w, err)
 		return
@@ -326,6 +358,10 @@ func (s *Server) handleSolveOneShot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Formula = string(body)
+	}
+	if err := req.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
 	}
 	f, err := berkmin.ReadDimacs(strings.NewReader(req.Formula))
 	if err != nil {
@@ -352,7 +388,8 @@ func (s *Server) handleSolveOneShot(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	j := &job{ctx: ctx, assumptions: req.Assumptions, solver: solver, enqueued: time.Now(), done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, assumptions: req.Assumptions, tempClauses: req.TempClauses,
+		minimizeCore: req.MinimizeCore, solver: solver, enqueued: time.Now(), done: make(chan jobResult, 1)}
 	if err := s.enqueue(j); err != nil {
 		writeError(w, err)
 		return
@@ -536,6 +573,7 @@ func buildReply(res jobResult, proof *bytes.Buffer) solveReply {
 	if len(res.res.FailedAssumptions) > 0 {
 		rep.FailedAssumptions = berkmin.FailedAssumptions(res.res)
 	}
+	rep.TempInCore = res.tempInCore
 	if proof != nil && res.res.Status == berkmin.StatusUnsat {
 		rep.Proof = proof.String()
 	}
